@@ -1,0 +1,69 @@
+"""Ablation 4: SPLPO solver choice.
+
+Compare exhaustive enumeration, greedy, local search, simulated
+annealing, and Monte-Carlo sampling on the testbed's 12-site search:
+solution quality (predicted mean RTT) against subset evaluations.
+"""
+
+from repro.baselines import monte_carlo_search
+from repro.core.optimizer import build_splpo_instance, choose_announcement_order
+from repro.splpo import (
+    solve_annealing,
+    solve_exhaustive,
+    solve_greedy,
+    solve_local_search,
+)
+from benchmarks.conftest import SEED, record
+
+
+def test_ablation_solver_choice(benchmark, bench_model, bench_testbed, bench_targets):
+    sites = bench_testbed.site_ids()
+    order, _ = choose_announcement_order(
+        bench_model.twolevel, sites, bench_targets, seed=SEED
+    )
+    instance = build_splpo_instance(
+        bench_model.twolevel, bench_model.rtt_matrix, bench_targets, sites, order
+    )
+
+    def run_all():
+        results = {}
+        results["exhaustive"] = solve_exhaustive(instance, sizes=[12])
+        results["greedy"] = solve_greedy(instance, max_open=12, force_size=True)
+        results["local_search"] = solve_local_search(
+            instance,
+            start=results["greedy"].open_facilities,
+            fixed_size=True,
+        )
+        results["annealing"] = solve_annealing(instance, seed=SEED, steps=4000)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    sampled = monte_carlo_search(
+        bench_model.twolevel, bench_model.rtt_matrix, bench_targets,
+        n_samples=200, sizes=[12], seed=SEED,
+    )
+
+    record(
+        "Ablation: SPLPO solver choice",
+        f"{'solver':<13} {'mean RTT(ms)':>13} {'evaluations':>12}",
+    )
+    for label, result in results.items():
+        record(
+            "Ablation: SPLPO solver choice",
+            f"{label:<13} {instance.mean_cost(result.open_facilities):>13.1f} "
+            f"{result.evaluations:>12}",
+        )
+    record(
+        "Ablation: SPLPO solver choice",
+        f"{'monte-carlo':<13} {sampled.predicted_mean_rtt:>13.1f} "
+        f"{sampled.samples:>12}",
+    )
+
+    exact = instance.mean_cost(results["exhaustive"].open_facilities)
+    for label, result in results.items():
+        cost = instance.mean_cost(result.open_facilities)
+        assert cost >= exact - 1e-9, f"{label} cannot beat exhaustive"
+        assert cost <= exact * 1.25, f"{label} strayed too far from optimal"
+    assert sampled.predicted_mean_rtt >= exact - 1e-9
+    # The cheap heuristics use far fewer evaluations than enumeration.
+    assert results["greedy"].evaluations < results["exhaustive"].evaluations

@@ -1,0 +1,61 @@
+"""S4.5 analysis: measurement budget for an Akamai-DNS-scale network.
+
+Paper: 500 sites and 20 providers need 500 singleton experiments
+(~250 h, about 10 days at 4 parallel prefixes and 2 h spacing) and 380
+ordered pairwise experiments (~190 h, about 8 days) — monthly
+re-measurement is practical, while the naive 2^500 deployments are not.
+"""
+
+import pytest
+
+from repro.core.planner import SiteLevelStrategy, plan_measurements
+from benchmarks.conftest import record
+
+
+def test_analysis_measurement_budget(benchmark):
+    plan = benchmark.pedantic(
+        lambda: plan_measurements(
+            n_sites=500,
+            n_providers=20,
+            site_level=SiteLevelStrategy.RTT_HEURISTIC,
+            parallel_prefixes=4,
+            spacing_hours=2.0,
+        ),
+        rounds=5,
+        iterations=1,
+    )
+
+    record(
+        "S4.5 analysis (measurement budget)",
+        f"singleton experiments: {plan.singleton_experiments} "
+        f"-> {plan.singleton_hours:.0f} h (~{plan.singleton_hours / 24:.0f} days); "
+        "paper: 500 -> 250 h (~10 days)",
+        f"pairwise experiments : {plan.provider_pairwise_experiments} "
+        f"-> {plan.pairwise_hours:.0f} h (~{plan.pairwise_hours / 24:.1f} days); "
+        "paper: 380 -> 190 h (~8 days)",
+        f"naive alternative    : 2^{plan.n_sites} deployments",
+    )
+
+    assert plan.singleton_experiments == 500
+    assert plan.provider_pairwise_experiments == 380
+    assert plan.singleton_hours == pytest.approx(250.0)
+    assert plan.pairwise_hours == pytest.approx(190.0)
+
+
+def test_analysis_testbed_budget(benchmark, bench_model):
+    """The testbed-scale campaign (what `discover()` actually ran)."""
+    plan = benchmark.pedantic(
+        lambda: plan_measurements(
+            15, 6, site_level=SiteLevelStrategy.PAIRWISE, ordered=True
+        ),
+        rounds=5,
+        iterations=1,
+    )
+    record(
+        "S4.5 analysis (measurement budget)",
+        f"testbed campaign: {bench_model.experiments_used} experiments used "
+        f"(singleton {plan.singleton_experiments}, provider pairwise "
+        f"{plan.provider_pairwise_experiments}, plus ordered site-level pairs)",
+    )
+    assert bench_model.experiments_used < 100
+    assert plan.naive_experiments() == 2 ** 15

@@ -1,0 +1,38 @@
+"""Figure 5b: CDF of the absolute error of the predicted mean RTT.
+
+Over the 38 validation configurations, compare predicted and measured
+mean RTTs.  Paper: the prediction is within 6 ms for more than 80% of
+configurations.
+"""
+
+from benchmarks.conftest import record
+from repro.util.stats import cdf_points, percentile
+
+
+def test_fig5b_abs_rtt_error_cdf(benchmark, validation_sweep, bench_model, bench_targets):
+    reports = validation_sweep
+
+    config = reports[-1].config
+    benchmark.pedantic(
+        lambda: bench_model.predictor.predict_mean_rtt(config, bench_targets),
+        rounds=3,
+        iterations=1,
+    )
+
+    errors = [r.abs_rtt_error_ms for r in reports]
+    xs, fs = cdf_points(errors)
+    record("Figure 5b (abs mean-RTT error CDF)", f"{'error(ms)':>10} {'CDF':>6}")
+    for x, f in zip(xs, fs):
+        record(
+            "Figure 5b (abs mean-RTT error CDF)", f"{x:>10.2f} {f:>6.2f}"
+        )
+    p80 = percentile(errors, 80)
+    record(
+        "Figure 5b (abs mean-RTT error CDF)",
+        f"80th percentile: {p80:.1f} ms (paper: <= 6 ms)",
+    )
+
+    # Shape: predictions track measurements to within a few ms for the
+    # bulk of configurations.
+    assert p80 < 12.0
+    assert percentile(errors, 50) < 8.0

@@ -1,0 +1,38 @@
+"""Figure 5c: relative error of the predicted mean RTT per config.
+
+Paper: the mean relative error across configurations is below 4.6%.
+"""
+
+from benchmarks.conftest import record
+from repro.util.stats import mean
+
+
+def test_fig5c_relative_rtt_error(benchmark, validation_sweep, bench_model, bench_targets):
+    reports = validation_sweep
+
+    config = reports[0].config
+    benchmark.pedantic(
+        lambda: bench_model.predictor.predict_mean_rtt(config, bench_targets),
+        rounds=3,
+        iterations=1,
+    )
+
+    record(
+        "Figure 5c (relative mean-RTT error)",
+        f"{'config#':<8} {'#sites':<7} {'predicted':>10} {'measured':>9} {'rel err':>8}",
+    )
+    for i, report in enumerate(reports):
+        record(
+            "Figure 5c (relative mean-RTT error)",
+            f"{i:<8} {len(report.config.site_order):<7} "
+            f"{report.predicted_mean_rtt:>9.1f}m {report.measured_mean_rtt:>8.1f}m "
+            f"{100 * report.rel_rtt_error:>7.1f}%",
+        )
+    rel_errors = [r.rel_rtt_error for r in reports]
+    record(
+        "Figure 5c (relative mean-RTT error)",
+        f"mean relative error {100 * mean(rel_errors):.1f}% (paper: <= 4.6%)",
+    )
+
+    assert mean(rel_errors) < 0.08
+    assert max(rel_errors) < 0.30

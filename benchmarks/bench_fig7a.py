@@ -1,0 +1,41 @@
+"""Figure 7a: CDF of peering-link catchment sizes.
+
+Enable each of the 104 peers alone on top of the AnyOpt-optimized
+configuration and record its catchment size.  Paper: more than 80% of
+peers capture fewer than 2.5% of the ping targets; a sizeable minority
+reach no target at all (72 of 104 reachable).
+"""
+
+from benchmarks.conftest import record
+from repro.util.stats import cdf_points
+
+
+def test_fig7a_peer_catchment_cdf(benchmark, one_pass_report, bench_targets):
+    report = benchmark.pedantic(lambda: one_pass_report, rounds=1, iterations=1)
+
+    fractions = [
+        probe.catchment_fraction(len(bench_targets)) for probe in report.probes
+    ]
+    xs, fs = cdf_points(fractions)
+    record("Figure 7a (peer catchment sizes)", f"{'catchment%':>11} {'CDF':>6}")
+    step = max(1, len(xs) // 15)
+    for i in range(0, len(xs), step):
+        record(
+            "Figure 7a (peer catchment sizes)",
+            f"{100 * xs[i]:>10.2f}% {fs[i]:>6.2f}",
+        )
+    small = sum(1 for f in fractions if f < 0.025)
+    reachable = len(report.reachable_probes())
+    record(
+        "Figure 7a (peer catchment sizes)",
+        f"{100 * small / len(fractions):.0f}% of peers capture <2.5% of targets "
+        "(paper: >80%)",
+    )
+    record(
+        "Figure 7a (peer catchment sizes)",
+        f"{reachable}/{len(report.probes)} peers reached any target "
+        "(paper: 72/104)",
+    )
+
+    assert small / len(fractions) > 0.5
+    assert 0 < reachable < len(report.probes)

@@ -1,0 +1,48 @@
+"""S6 extension: how many experiments do routing tables save?
+
+The paper's future-work idea: infer pairwise preferences from public
+BGP tables and only run active experiments for the cells tables cannot
+decide.  This bench measures, on the testbed's provider-level problem,
+the fraction of vantage/pair cells decided from singleton-experiment
+tables alone and the pairwise experiments still required.
+"""
+
+from repro.core.hybrid import (
+    collect_tables,
+    infer_preferences,
+    select_vantage_points,
+    undecided_pairs,
+)
+from repro.measurement import Orchestrator
+from benchmarks.conftest import SEED, record
+
+SITES = (1, 3, 4, 5, 6, 14)  # one representative site per provider
+
+
+def test_hybrid_table_inference(benchmark, bench_testbed, bench_targets):
+    def run():
+        orch = Orchestrator(bench_testbed, bench_targets, seed=SEED + 77)
+        vantages = select_vantage_points(
+            bench_testbed.internet, fraction=0.15, seed=SEED
+        )
+        tables = collect_tables(orch, SITES, vantages)
+        matrix, stats = infer_preferences(tables, SITES)
+        remaining = undecided_pairs(matrix, SITES, vantages)
+        return vantages, stats, remaining
+
+    vantages, stats, remaining = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    full_pairwise = stats.pair_count * 2  # ordered experiments
+    record(
+        "S6 extension (hybrid table inference)",
+        f"vantage ASes              : {stats.vantage_count}",
+        f"site pairs                : {stats.pair_count}",
+        f"cells decided from tables : {stats.cells_decided}/{stats.cells_total} "
+        f"({100 * stats.decided_fraction:.1f}%)",
+        f"pairs still needing active experiments: {len(remaining)}/{stats.pair_count}",
+        f"(full campaign would run {full_pairwise} ordered pairwise experiments; "
+        "tables come free with the singleton RTT campaign)",
+    )
+
+    assert stats.decided_fraction > 0.5
+    assert len(remaining) <= stats.pair_count

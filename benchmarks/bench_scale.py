@@ -1,0 +1,68 @@
+"""Scale check: the paper's full measurement volume on one laptop.
+
+The paper probes 15,300 targets across 5,317 client ASes (S3.2).  This
+bench builds a synthetic Internet of that magnitude, runs one ordered
+pairwise experiment plus a full 15-site deployment, and reports the
+wall-clock costs — demonstrating that the simulator substrate scales
+to the paper's population, not just the CI-sized default.
+"""
+
+import time
+
+from repro import AnycastConfig, build_paper_testbed, select_targets
+from repro.measurement import Orchestrator
+from repro.topology import TestbedParams, TopologyParams
+from benchmarks.conftest import record
+
+
+def test_paper_scale_population(benchmark):
+    def run():
+        t0 = time.perf_counter()
+        params = TestbedParams(
+            topology=TopologyParams(n_stub=5300, n_tier2=120)
+        )
+        testbed = build_paper_testbed(params, seed=11)
+        build_s = time.perf_counter() - t0
+
+        targets = select_targets(
+            testbed.internet, targets_per_as_min=3, targets_per_as_max=4, seed=11
+        )
+        orch = Orchestrator(testbed, targets, seed=11)
+
+        t0 = time.perf_counter()
+        deployment = orch.deploy(AnycastConfig(site_order=(1, 6)))
+        converge_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cmap = deployment.measure_catchments()
+        probe_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        full = orch.deploy(
+            AnycastConfig(site_order=tuple(testbed.site_ids()))
+        )
+        full_map = full.measure_catchments()
+        full_s = time.perf_counter() - t0
+        return testbed, targets, cmap, full_map, (build_s, converge_s, probe_s, full_s)
+
+    testbed, targets, cmap, full_map, times = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    build_s, converge_s, probe_s, full_s = times
+
+    n_ases = len(testbed.internet.graph)
+    record(
+        "Scale check (paper-sized population)",
+        f"ASes: {n_ases}, ping targets: {len(targets)} "
+        "(paper: 15,300 targets in 5,317 ASes)",
+        f"topology build        : {build_s:6.2f}s",
+        f"pairwise convergence  : {converge_s:6.2f}s",
+        f"catchment measurement : {probe_s:6.2f}s",
+        f"full 15-site deploy   : {full_s:6.2f}s",
+        f"mapped targets (pairwise): {cmap.mapped_count()}/{len(targets)}",
+        f"sites with traffic (15-site): {len(full_map.catchment_sizes())}/15",
+    )
+
+    assert len(targets) >= 13_000
+    assert cmap.mapped_count() > 0.95 * len(targets)
+    assert len(full_map.catchment_sizes()) >= 12

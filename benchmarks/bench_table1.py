@@ -1,0 +1,42 @@
+"""Table 1: the 15-site anycast testbed.
+
+Regenerates the paper's testbed inventory (site locations, transit
+providers, peer counts) and benchmarks the testbed build itself.
+"""
+
+from repro.topology import TestbedParams, TopologyParams, build_paper_testbed
+from benchmarks.conftest import SEED, record
+
+
+def test_table1(benchmark, bench_testbed):
+    built = benchmark.pedantic(
+        lambda: build_paper_testbed(
+            TestbedParams(topology=TopologyParams(n_stub=300, n_tier2=36)),
+            seed=SEED,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    record(
+        "Table 1 (testbed)",
+        f"{'Site':<5} {'Location':<14} {'Transit':<9} {'ASN':<6} {'#peers':<6}",
+    )
+    total_peers = 0
+    for site_id in built.site_ids():
+        site = built.site(site_id)
+        total_peers += site.n_peers
+        record(
+            "Table 1 (testbed)",
+            f"{site_id:<5} {site.city_name:<14} {site.provider_name:<9} "
+            f"{site.provider_asn:<6} {site.n_peers:<6}",
+        )
+    record(
+        "Table 1 (testbed)",
+        f"total: 15 sites, {len(built.provider_asns())} transit providers, "
+        f"{total_peers} peering links (paper: 104)",
+    )
+
+    assert len(built.site_ids()) == 15
+    assert len(built.provider_asns()) == 6
+    assert total_peers == 104

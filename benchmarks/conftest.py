@@ -1,0 +1,84 @@
+"""Shared state for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper.  The
+expensive artifacts (testbed, measurement campaign, the 38-config
+validation sweep, the 104-peer one-pass sweep) are session-scoped and
+shared.  Figure rows are accumulated in ``FIGURE_ROWS`` and printed in
+the terminal summary, so ``pytest benchmarks/ --benchmark-only`` shows
+them even with output capture on.
+"""
+
+from typing import Dict, List
+
+import pytest
+
+from repro import AnycastConfig, AnyOpt, build_paper_testbed, select_targets
+from repro.baselines import random_config
+from repro.topology import TestbedParams, TopologyParams
+
+SEED = 7
+
+#: figure id -> rendered lines, printed in the terminal summary.
+FIGURE_ROWS: Dict[str, List[str]] = {}
+
+
+def record(figure: str, *lines: str) -> None:
+    FIGURE_ROWS.setdefault(figure, []).extend(lines)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not FIGURE_ROWS:
+        return
+    terminalreporter.section("paper figures (reproduced)")
+    for figure in sorted(FIGURE_ROWS):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {figure} ---")
+        for line in FIGURE_ROWS[figure]:
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def bench_testbed():
+    params = TestbedParams(topology=TopologyParams(n_stub=300, n_tier2=36))
+    return build_paper_testbed(params, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_targets(bench_testbed):
+    return select_targets(
+        bench_testbed.internet, targets_per_as_min=1, targets_per_as_max=2, seed=SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_anyopt(bench_testbed, bench_targets):
+    return AnyOpt(bench_testbed, targets=bench_targets, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_model(bench_anyopt):
+    return bench_anyopt.discover()
+
+
+@pytest.fixture(scope="session")
+def opt12(bench_anyopt, bench_model):
+    """The AnyOpt-optimized 12-site configuration (S5.3)."""
+    return bench_anyopt.optimize(bench_model, sizes=[12])
+
+
+@pytest.fixture(scope="session")
+def validation_sweep(bench_anyopt, bench_model, bench_testbed):
+    """The S5.2 validation: deploy 38 random configurations (1-14
+    sites) and compare predictions with measurements."""
+    reports = []
+    for i in range(38):
+        k = 1 + i % 14
+        config = random_config(bench_testbed, k, seed=1000 + i)
+        reports.append(bench_anyopt.evaluate(bench_model, config))
+    return reports
+
+
+@pytest.fixture(scope="session")
+def one_pass_report(bench_anyopt, opt12):
+    """The S5.4 one-pass sweep over all 104 peering links."""
+    return bench_anyopt.incorporate_peers(opt12.best_config)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""DDoS response: withdrawing a site and predicting the fallout.
+
+Anycast networks absorb DDoS attacks by spreading load, and respond to
+overwhelmed sites by withdrawing their announcements (paper S1/S2).
+This example simulates that operational moment:
+
+1. deploy the optimized configuration and look at the load split;
+2. the largest-catchment site comes under attack — predict, offline,
+   where its clients would go if it were withdrawn;
+3. withdraw it live (BGP withdrawal, reconvergence) and compare the
+   prediction with the measured outcome.
+
+Run:  python examples/ddos_failover.py [--seed N]
+"""
+
+import argparse
+from collections import Counter
+
+from repro import AnycastConfig, AnyOpt, build_paper_testbed, select_targets
+from repro.bgp.engine import SiteWithdrawal
+from repro.bgp.dataplane import DataPlane
+from repro.report import render_catchment_bars
+from repro.topology import TestbedParams, TopologyParams
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    testbed = build_paper_testbed(
+        TestbedParams(topology=TopologyParams(n_stub=250)), seed=args.seed
+    )
+    targets = select_targets(testbed.internet, seed=args.seed)
+    anyopt = AnyOpt(testbed, targets=targets, seed=args.seed)
+    model = anyopt.discover()
+    config = anyopt.optimize(model, sizes=[8]).best_config
+
+    print(f"== Deployed configuration: sites {config.site_order} ==")
+    deployment = anyopt.deploy(config)
+    base_map = deployment.measure_catchments()
+    print(render_catchment_bars(base_map.catchment_sizes(), total=len(targets)))
+
+    victim = max(base_map.catchment_sizes().items(), key=lambda kv: kv[1])[0]
+    print(f"\n== Site {victim} is under attack; predicting failover ==")
+    survivors = tuple(s for s in config.site_order if s != victim)
+    predicted = Counter()
+    for t in targets:
+        if base_map.site_of(t.target_id) != victim:
+            continue
+        site = model.predictor.predict_catchment(
+            t.target_id, AnycastConfig(site_order=survivors)
+        )
+        predicted[site] += 1
+    print("   predicted destinations of the victim's clients:")
+    for site, count in predicted.most_common():
+        print(f"     site {site}: {count}")
+
+    print(f"\n== Withdrawing site {victim} live ==")
+    spacing = testbed.params.announcement_spacing_ms
+    converged = anyopt.orchestrator.engine.run(
+        anyopt.orchestrator._injections(config),
+        withdrawals=[
+            SiteWithdrawal(
+                host_asn=testbed.site(victim).provider_asn,
+                site_id=victim,
+                withdraw_time_ms=(len(config.site_order) + 1) * spacing,
+            )
+        ],
+    )
+    dataplane = DataPlane(testbed.internet, converged)
+    measured = Counter()
+    correct = total = 0
+    for t in targets:
+        if base_map.site_of(t.target_id) != victim:
+            continue
+        outcome = dataplane.forward(t.asn, t.target_id)
+        if outcome is None:
+            continue
+        measured[outcome.site_id] += 1
+        site = model.predictor.predict_catchment(
+            t.target_id, AnycastConfig(site_order=survivors)
+        )
+        if site is not None:
+            total += 1
+            correct += site == outcome.site_id
+    print("   measured destinations after reconvergence:")
+    for site, count in measured.most_common():
+        print(f"     site {site}: {count}")
+    if total:
+        print(f"\n   failover prediction accuracy: {100 * correct / total:.1f}% "
+              f"({correct}/{total} displaced clients)")
+
+
+if __name__ == "__main__":
+    main()

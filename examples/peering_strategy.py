@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Peering strategy: which settlement-free peers are worth enabling?
+
+Reproduces the paper's S4.4/S5.4 workflow: start from an optimized
+transit-only configuration, probe every peering link one at a time
+(the "one-pass" method), classify beneficial peers, and greedily build
+the AnyOpt+BenefitPeers configuration.
+
+Run:  python examples/peering_strategy.py [--seed N] [--peers N]
+"""
+
+import argparse
+
+from repro import AnyOpt, build_paper_testbed, select_targets
+from repro.topology import TestbedParams, TopologyParams
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--stubs", type=int, default=300, help="client ASes")
+    parser.add_argument(
+        "--peers", type=int, default=40,
+        help="how many of the 104 peering links to probe (probe count = BGP experiments)",
+    )
+    args = parser.parse_args()
+
+    testbed = build_paper_testbed(
+        TestbedParams(topology=TopologyParams(n_stub=args.stubs)), seed=args.seed
+    )
+    targets = select_targets(testbed.internet, seed=args.seed)
+    anyopt = AnyOpt(testbed, targets=targets, seed=args.seed)
+
+    print("== Finding the transit-only baseline ==")
+    model = anyopt.discover()
+    report = anyopt.optimize(model, sizes=[12])
+    base = report.best_config
+    print(f"   transit-only configuration: sites {base.site_order}")
+
+    print(f"\n== One-pass probing of {args.peers} peering links ==")
+    peer_report = anyopt.incorporate_peers(
+        base, peer_ids=testbed.peer_ids()[: args.peers]
+    )
+    print(f"   baseline mean RTT: {peer_report.base_mean_rtt_ms:.1f} ms")
+
+    reachable = peer_report.reachable_probes()
+    beneficial = peer_report.beneficial_peers()
+    print(f"   {len(reachable)}/{len(peer_report.probes)} peers reached any target")
+    print(f"   {len(beneficial)} peers are beneficial (reduce the mean RTT)")
+
+    print("\n   peer  site  catchment   dRTT(ms)")
+    ranked = sorted(peer_report.probes, key=lambda p: p.delta_ms)
+    for probe in ranked[:10]:
+        frac = 100 * probe.catchment_fraction(len(targets))
+        print(f"   {probe.peer_id:>4}  {probe.site_id:>4}  "
+              f"{frac:>7.1f}%   {probe.delta_ms:>+8.2f}")
+
+    print("\n== Greedy selection (conservative whole-catchment switch) ==")
+    print(f"   selected peers: {peer_report.selected_peers}")
+    print(f"   estimated mean RTT: {peer_report.estimated_final_mean_rtt_ms:.1f} ms")
+    print(f"   measured  mean RTT: {peer_report.final_mean_rtt_ms:.1f} ms "
+          f"(baseline {peer_report.base_mean_rtt_ms:.1f} ms)")
+
+
+if __name__ == "__main__":
+    main()

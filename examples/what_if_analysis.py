@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""What-if analysis: score candidate configurations without deploying.
+
+An operator who has run AnyOpt's measurement campaign can evaluate any
+candidate configuration offline — predicted catchment split, predicted
+mean/median RTT — and only deploy the winner.  This example scores a
+handful of candidates, deploys the predicted best to check, and also
+shows why measurement beats pure topology inference (S7): the
+inference-based predictor's accuracy drops as sites are added.
+
+Run:  python examples/what_if_analysis.py [--seed N]
+"""
+
+import argparse
+from collections import Counter
+
+from repro import AnycastConfig, AnyOpt, build_paper_testbed, select_targets
+from repro.baselines import TopologyInferencePredictor
+from repro.topology import TestbedParams, TopologyParams
+from repro.util.stats import median
+
+
+CANDIDATES = {
+    "americas-heavy": AnycastConfig(site_order=(1, 3, 9, 11, 13, 15)),
+    "europe-heavy": AnycastConfig(site_order=(2, 5, 10, 12)),
+    "asia-heavy": AnycastConfig(site_order=(4, 6, 7)),
+    "global-six": AnycastConfig(site_order=(1, 3, 4, 5, 6, 14)),
+    "global-ten": AnycastConfig(site_order=(1, 2, 3, 4, 5, 6, 9, 12, 13, 14)),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    testbed = build_paper_testbed(
+        TestbedParams(topology=TopologyParams(n_stub=300)), seed=args.seed
+    )
+    targets = select_targets(testbed.internet, seed=args.seed)
+    anyopt = AnyOpt(testbed, targets=targets, seed=args.seed)
+    model = anyopt.discover()
+
+    print("== Scoring candidates offline (no deployments) ==")
+    print(f"   {'candidate':<16} {'pred mean':>10} {'pred median':>12}  catchment split")
+    scores = {}
+    for name, config in CANDIDATES.items():
+        rtts = []
+        split = Counter()
+        for t in targets:
+            site = model.predictor.predict_catchment(t.target_id, config)
+            if site is None:
+                continue
+            split[site] += 1
+            rtt = model.rtt_matrix.values.get((site, t.target_id))
+            if rtt is not None:
+                rtts.append(rtt)
+        scores[name] = sum(rtts) / len(rtts)
+        top = ", ".join(f"{s}:{n}" for s, n in split.most_common(4))
+        print(f"   {name:<16} {scores[name]:>8.1f}ms {median(rtts):>10.1f}ms  {top}")
+
+    best = min(scores, key=scores.get)
+    print(f"\n== Deploying predicted best candidate: {best} ==")
+    evaluation = anyopt.evaluate(model, CANDIDATES[best])
+    print(f"   predicted {evaluation.predicted_mean_rtt:.1f} ms, "
+          f"measured {evaluation.measured_mean_rtt:.1f} ms, "
+          f"catchment accuracy {100 * evaluation.accuracy:.1f}%")
+
+    print("\n== Measurement vs topology inference (S7) ==")
+    inference = TopologyInferencePredictor(testbed)
+    for name in ("asia-heavy", "global-ten"):
+        config = CANDIDATES[name]
+        deployment = anyopt.deploy(config)
+        inferred = inference.predict_all(config)
+        anyopt_hits = anyopt_total = infer_hits = infer_total = 0
+        certain = 0
+        for t in targets:
+            outcome = deployment.forwarding(t)
+            if outcome is None:
+                continue
+            predicted = model.predictor.predict_catchment(t.target_id, config)
+            if predicted is not None:
+                anyopt_total += 1
+                anyopt_hits += predicted == outcome.site_id
+            guess = inferred[t.asn]
+            infer_total += 1
+            infer_hits += guess.site_id == outcome.site_id
+            certain += guess.certain
+        print(f"   {name:<12} AnyOpt {100 * anyopt_hits / anyopt_total:5.1f}%  "
+              f"inference {100 * infer_hits / infer_total:5.1f}%  "
+              f"(certain predictions: {100 * certain / infer_total:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

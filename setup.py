@@ -1,0 +1,6 @@
+"""Compatibility shim so `pip install -e .` works without the `wheel`
+package (offline environments with older setuptools)."""
+
+from setuptools import setup
+
+setup()

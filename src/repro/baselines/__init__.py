@@ -1,0 +1,31 @@
+"""Baseline configuration strategies and predictors compared in S5.
+
+- :mod:`repro.baselines.greedy_unicast` — the "12-Greedy" baseline:
+  pick the k sites with the lowest mean unicast RTT;
+- :mod:`repro.baselines.random_config` — the "4-Random" baseline:
+  random small configurations (two providers, two sites each) and
+  general random subsets;
+- :mod:`repro.baselines.all_sites` — the "15-all" baseline;
+- :mod:`repro.baselines.topology_inference` — a Sermpezis &
+  Kotronis-style catchment predictor from inferred AS topology alone
+  (no measurements), the related-work comparison of S7;
+- :mod:`repro.baselines.monte_carlo` — the sample-and-keep-the-best
+  search the paper cites as the state of the art for configuring
+  Akamai DNS (S2.2).
+"""
+
+from repro.baselines.all_sites import all_sites_config
+from repro.baselines.greedy_unicast import greedy_unicast_config
+from repro.baselines.monte_carlo import MonteCarloResult, monte_carlo_search
+from repro.baselines.random_config import random_config, random_small_config
+from repro.baselines.topology_inference import TopologyInferencePredictor
+
+__all__ = [
+    "MonteCarloResult",
+    "TopologyInferencePredictor",
+    "all_sites_config",
+    "greedy_unicast_config",
+    "monte_carlo_search",
+    "random_config",
+    "random_small_config",
+]

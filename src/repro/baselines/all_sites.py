@@ -1,0 +1,9 @@
+"""The enable-everything baseline ("15-all" in Figure 6)."""
+
+from repro.core.config import AnycastConfig
+from repro.topology.testbed import Testbed
+
+
+def all_sites_config(testbed: Testbed) -> AnycastConfig:
+    """Every site enabled, announced in site-id order."""
+    return AnycastConfig(site_order=tuple(testbed.site_ids()))

@@ -1,0 +1,54 @@
+"""Random-configuration baselines.
+
+``random_small_config`` reproduces the paper's "4-Random" scenario:
+an operator keeping management simple picks two providers and two
+sites within each (S5.3).  ``random_config`` draws an arbitrary
+k-subset, used for the 38 random validation configurations of S5.2.
+"""
+
+from typing import Optional
+
+from repro.core.config import AnycastConfig
+from repro.topology.testbed import Testbed
+from repro.util.errors import ConfigurationError
+from repro.util.rng import derive_rng
+
+
+def random_config(testbed: Testbed, k: int, seed=0) -> AnycastConfig:
+    """A uniformly random k-site configuration in random announce order."""
+    sites = testbed.site_ids()
+    if not 1 <= k <= len(sites):
+        raise ConfigurationError(f"k={k} out of range [1, {len(sites)}]")
+    rng = derive_rng(seed, "random-config", k)
+    chosen = rng.sample(sites, k)
+    rng.shuffle(chosen)
+    return AnycastConfig(site_order=tuple(chosen))
+
+
+def random_small_config(
+    testbed: Testbed,
+    n_providers: int = 2,
+    sites_per_provider: int = 2,
+    seed=0,
+) -> AnycastConfig:
+    """The 4-Random scenario: a few providers, a few sites each."""
+    if n_providers < 1 or sites_per_provider < 1:
+        raise ConfigurationError("need at least one provider and one site")
+    rng = derive_rng(seed, "random-small", n_providers, sites_per_provider)
+    eligible = [
+        p
+        for p in testbed.provider_asns()
+        if len(testbed.sites_of_provider(p)) >= sites_per_provider
+    ]
+    if len(eligible) < n_providers:
+        raise ConfigurationError(
+            f"only {len(eligible)} providers host >= {sites_per_provider} sites"
+        )
+    providers = rng.sample(eligible, n_providers)
+    chosen = []
+    for provider in providers:
+        chosen.extend(
+            rng.sample(testbed.sites_of_provider(provider), sites_per_provider)
+        )
+    rng.shuffle(chosen)
+    return AnycastConfig(site_order=tuple(chosen))

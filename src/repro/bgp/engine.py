@@ -1,0 +1,225 @@
+"""Event-driven propagation of anycast announcements to convergence.
+
+The engine owns a virtual clock in milliseconds.  Each
+:class:`SiteInjection` schedules a route injection at its announcement
+time; speaker exports are delivered to neighbors after the link's
+control-plane propagation delay.  Because delays are seeded at topology
+build, the *arrival order* of competing advertisements at every AS is
+deterministic — which is exactly what the paper's S4.2 experiments
+manipulate by spacing announcements.
+"""
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bgp.messages import SitePop
+from repro.bgp.rib import RouterState
+from repro.bgp.router import BGPSpeaker
+from repro.topology.astopo import Relationship
+from repro.topology.generator import Internet
+from repro.util.errors import ReproError
+from repro.util.rng import derive_rng
+
+#: Private ASN used as the anycast origin network (the CDN).
+ANYCAST_ORIGIN_ASN = 65000
+
+#: Test prefix announced in all experiments (paper: prefixes the
+#: authors control, serving no clients).
+DEFAULT_ANYCAST_PREFIX = "192.0.2.0/24"
+
+_MAX_EVENTS = 2_000_000
+
+
+@dataclass(frozen=True)
+class SiteInjection:
+    """One site announcing the anycast prefix through one neighbor AS.
+
+    Attributes:
+        host_asn: the AS receiving the announcement (a transit provider
+            or a settlement-free peer of the anycast network).
+        site_id: the announcing anycast site.
+        pop_id: attachment PoP inside ``host_asn`` (None if single-PoP).
+        link_rtt_ms: RTT across the site's access link to that AS.
+        rel_from_host: the anycast origin's relationship as seen by the
+            host — CUSTOMER when the host sells transit to the anycast
+            network, PEER for settlement-free peering.
+        announce_time_ms: virtual time at which the announcement is
+            made; staggering these reproduces the paper's
+            announcement-order experiments.
+        prepend: extra copies of the origin ASN prepended to the
+            announced AS path (traffic-engineering knob; paper S6).
+        poison: ASNs inserted into the announced path so their loop
+            prevention drops the route — the BGP poisoning technique
+            the paper lists among its future-work control knobs (S6).
+    """
+
+    host_asn: int
+    site_id: int
+    pop_id: Optional[int]
+    link_rtt_ms: float
+    rel_from_host: Relationship = Relationship.CUSTOMER
+    announce_time_ms: float = 0.0
+    prepend: int = 0
+    poison: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class SiteWithdrawal:
+    """Scheduled removal of one site's announcement from its host AS.
+
+    Used to model reconfiguration: a running deployment withdraws a
+    site (maintenance, DDoS response) and the engine reconverges.
+    """
+
+    host_asn: int
+    site_id: int
+    withdraw_time_ms: float
+
+
+@dataclass
+class ConvergedState:
+    """The outcome of running the engine to quiescence."""
+
+    prefix: str
+    origin_asn: int
+    states: Dict[int, RouterState]
+    injections: Tuple[SiteInjection, ...]
+    convergence_time_ms: float = 0.0
+    message_count: int = 0
+    enabled_sites: Tuple[int, ...] = field(default=())
+
+    def state_of(self, asn: int) -> RouterState:
+        try:
+            return self.states[asn]
+        except KeyError:
+            raise ReproError(f"no BGP state for AS {asn}") from None
+
+
+class BGPEngine:
+    """Runs anycast announcements over an :class:`Internet` to
+    convergence and returns the per-AS routing state."""
+
+    def __init__(self, internet: Internet, origin_asn: int = ANYCAST_ORIGIN_ASN, prefix: str = DEFAULT_ANYCAST_PREFIX):
+        self.internet = internet
+        self.origin_asn = origin_asn
+        self.prefix = prefix
+
+    def run(
+        self,
+        injections: Sequence[SiteInjection],
+        igp_overlay: Optional[Dict[Tuple[int, int], int]] = None,
+        delay_jitter_ms: float = 0.0,
+        delay_nonce: int = 0,
+        withdrawals: Sequence[SiteWithdrawal] = (),
+    ) -> ConvergedState:
+        """Announce the prefix per ``injections`` and converge.
+
+        ``igp_overlay`` overrides per-session interior costs for this
+        run only, modeling interior-routing changes between
+        experiments (the drift that costs the paper its last few
+        accuracy points).
+
+        ``delay_jitter_ms`` adds a per-run exponential jitter to every
+        link's control-plane delay (seeded by ``delay_nonce``).  With
+        *spaced* announcements the spacing dominates and arrival order
+        stays controlled; with *simultaneous* announcements the race
+        outcome varies run to run — exactly why the paper's naive
+        no-order experiments produce cyclic preferences (S5.1).
+
+        Raises :class:`ReproError` if an injection references an AS not
+        in the topology or if the event budget is exhausted (which
+        would indicate a routing oscillation — impossible under
+        Gao-Rexford policies, so treated as a bug).
+        """
+        graph = self.internet.graph
+        if not injections:
+            raise ReproError("cannot run BGP engine with no injections")
+        for inj in injections:
+            if inj.host_asn not in graph:
+                raise ReproError(f"injection references unknown AS {inj.host_asn}")
+
+        speakers = {
+            asn: BGPSpeaker(graph, graph.as_of(asn), self.prefix, igp_overlay)
+            for asn in graph.asns()
+        }
+
+        jitter: Dict[Tuple[int, int], float] = {}
+        if delay_jitter_ms > 0.0:
+            rng = derive_rng(self.internet.seed, "delay-jitter", delay_nonce)
+            for link in graph.links():
+                jitter[(link.a, link.b)] = rng.expovariate(1.0 / delay_jitter_ms)
+                jitter[(link.b, link.a)] = rng.expovariate(1.0 / delay_jitter_ms)
+
+        counter = itertools.count()
+        heap: List[Tuple[float, int, str, int, int, Optional[Tuple[int, ...]], int]] = []
+
+        def schedule(time_ms, kind, receiver, sender, as_path, med=0):
+            heapq.heappush(heap, (time_ms, next(counter), kind, receiver, sender, as_path, med))
+
+        for inj in injections:
+            schedule(inj.announce_time_ms, "inject", inj.host_asn, inj.site_id, None)
+        for wd in withdrawals:
+            if wd.host_asn not in graph:
+                raise ReproError(f"withdrawal references unknown AS {wd.host_asn}")
+            schedule(wd.withdraw_time_ms, "uninject", wd.host_asn, wd.site_id, None)
+        inj_by_key = {(inj.host_asn, inj.site_id): inj for inj in injections}
+
+        messages = 0
+        last_time = 0.0
+        events = 0
+        while heap:
+            time_ms, _, kind, receiver, sender, as_path, med = heapq.heappop(heap)
+            events += 1
+            if events > _MAX_EVENTS:
+                raise ReproError(
+                    "BGP event budget exhausted; the configuration did not converge"
+                )
+            last_time = max(last_time, time_ms)
+            speaker = speakers[receiver]
+            if kind == "inject":
+                inj = inj_by_key[(receiver, sender)]
+                out = speaker.inject(
+                    self.origin_asn,
+                    inj.rel_from_host,
+                    SitePop(inj.site_id, inj.pop_id, inj.link_rtt_ms),
+                    time_ms,
+                    prepend=inj.prepend,
+                    poison=inj.poison,
+                )
+            elif kind == "uninject":
+                out = speaker.withdraw_injection(self.origin_asn, sender)
+            elif kind == "announce":
+                messages += 1
+                out = speaker.receive_announcement(sender, as_path, med, time_ms)
+            elif kind == "withdraw":
+                messages += 1
+                out = speaker.receive_withdrawal(sender)
+            else:  # pragma: no cover - defensive
+                raise ReproError(f"unknown event kind {kind!r}")
+
+            for update in out:
+                link = graph.link(receiver, update.neighbor)
+                arrive = time_ms + link.prop_delay_ms + jitter.get(
+                    (receiver, update.neighbor), 0.0
+                )
+                if update.as_path is None:
+                    schedule(arrive, "withdraw", update.neighbor, receiver, None)
+                else:
+                    schedule(arrive, "announce", update.neighbor, receiver, update.as_path, update.med)
+
+        withdrawn = {(wd.host_asn, wd.site_id) for wd in withdrawals}
+        return ConvergedState(
+            prefix=self.prefix,
+            origin_asn=self.origin_asn,
+            states={asn: sp.state for asn, sp in speakers.items()},
+            injections=tuple(injections),
+            convergence_time_ms=last_time,
+            message_count=messages,
+            enabled_sites=tuple(sorted({
+                inj.site_id
+                for inj in injections
+                if (inj.host_asn, inj.site_id) not in withdrawn
+            })),
+        )

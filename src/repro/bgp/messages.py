@@ -1,0 +1,88 @@
+"""Route and update representations.
+
+A :class:`Route` is a RIB entry as seen by one AS: the AS path toward
+the anycast origin, the neighbor it was learned from, the local
+preference assigned on import, and the arrival timestamp that feeds the
+arrival-order tie-break.  ``site_pops`` is only populated on *injected*
+routes (at ASes directly connected to anycast sites); it disappears on
+re-advertisement, modeling the paper's observation that site-level
+differences cannot be observed once a neighboring AS re-advertises the
+prefix (S4.3).
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.topology.astopo import Relationship
+from repro.util.errors import ReproError
+
+
+@dataclass(frozen=True)
+class SitePop:
+    """An anycast site attachment carried on an injected route.
+
+    Attributes:
+        site_id: the anycast site's identifier.
+        pop_id: the PoP inside the hosting AS where the site attaches,
+            or None for single-PoP hosts (e.g. stub peers).
+        link_rtt_ms: data-plane RTT across the site's access link.
+    """
+
+    site_id: int
+    pop_id: Optional[int]
+    link_rtt_ms: float
+
+
+@dataclass(frozen=True)
+class Route:
+    """One RIB entry for the anycast prefix at one AS.
+
+    ``as_path`` is nearest-first: ``as_path[0]`` is the neighbor AS the
+    route was learned from (equal to ``learned_from`` for propagated
+    routes) and ``as_path[-1]`` is the anycast origin AS.
+    """
+
+    prefix: str
+    as_path: Tuple[int, ...]
+    learned_from: int
+    local_pref: int
+    learned_rel: Relationship = Relationship.PROVIDER
+    med: int = 0
+    origin_code: int = 0
+    interior_cost: int = 0
+    arrival_time: float = 0.0
+    site_pops: Tuple[SitePop, ...] = field(default=())
+
+    def __post_init__(self):
+        if not self.as_path:
+            raise ReproError("Route.as_path must not be empty")
+
+    @property
+    def path_length(self) -> int:
+        """AS-path length, BGP's second decision criterion."""
+        return len(self.as_path)
+
+    @property
+    def origin_asn(self) -> int:
+        """The AS that originated the prefix."""
+        return self.as_path[-1]
+
+    def is_injected(self) -> bool:
+        """True when this AS hosts the anycast site(s) directly."""
+        return bool(self.site_pops)
+
+    def materially_equal(self, other: Optional["Route"]) -> bool:
+        """True when re-advertising would be a no-op for neighbors.
+
+        Arrival time and local preference are local concerns; a route
+        only needs re-announcement when its path, MED, or learned-from
+        neighbor changed.
+        """
+        if other is None:
+            return False
+        return (
+            self.as_path == other.as_path
+            and self.learned_from == other.learned_from
+            and self.med == other.med
+            and self.origin_code == other.origin_code
+        )

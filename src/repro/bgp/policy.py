@@ -1,0 +1,54 @@
+"""Gao-Rexford import and export policies.
+
+Import: local preference is assigned by the business relationship of
+the announcing neighbor — customer routes are the most profitable, then
+peer routes, then provider routes (paper S4.1).  Policy-deviant ASes
+override this with arbitrary per-neighbor preferences, which is the
+mechanism behind the cyclic-preference example of paper Figure 3.
+
+Export: a route learned from a customer is exported to every neighbor;
+a route learned from a peer or a provider is exported to customers
+only.  This yields valley-free paths.
+"""
+
+from typing import List
+
+from repro.topology.astopo import AS, ASGraph, Relationship
+
+LOCAL_PREF_CUSTOMER = 300
+LOCAL_PREF_PEER = 200
+LOCAL_PREF_PROVIDER = 100
+
+_REL_PREF = {
+    Relationship.CUSTOMER: LOCAL_PREF_CUSTOMER,
+    Relationship.PEER: LOCAL_PREF_PEER,
+    Relationship.PROVIDER: LOCAL_PREF_PROVIDER,
+}
+
+
+def local_pref_for(node: AS, neighbor_asn: int, rel: Relationship) -> int:
+    """Local preference ``node`` assigns to a route from ``neighbor_asn``.
+
+    A policy-deviant AS consults its per-neighbor override table first
+    and falls back to the relationship-based default for neighbors it
+    has no opinion about (e.g. a pseudo-neighbor anycast origin).
+    """
+    if node.policy_deviant:
+        override = node.deviant_prefs.get(neighbor_asn)
+        if override is not None:
+            return override
+    return _REL_PREF[rel]
+
+
+def export_targets(graph: ASGraph, asn: int, learned_rel: Relationship, learned_from: int) -> List[int]:
+    """Neighbors to which ``asn`` exports a route learned via
+    ``learned_rel`` from ``learned_from``.
+
+    Customer routes go to everyone (minus the neighbor they came
+    from); peer and provider routes go to customers only.
+    """
+    if learned_rel is Relationship.CUSTOMER:
+        targets = graph.neighbors(asn)
+    else:
+        targets = graph.customers(asn)
+    return [n for n in targets if n != learned_from]

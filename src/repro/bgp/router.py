@@ -1,0 +1,233 @@
+"""BGP speaker logic for one AS.
+
+A :class:`BGPSpeaker` is a pure state machine: it consumes
+announcements, withdrawals, and local injections, updates its RIBs, and
+returns the outgoing updates its export policy requires.  Timing is the
+engine's concern; the speaker only records the arrival timestamps it is
+given (they feed the arrival-order tie-break of
+:mod:`repro.bgp.decision`).
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.bgp.decision import best_route, multipath_set
+from repro.bgp.messages import Route, SitePop
+from repro.bgp.policy import export_targets, local_pref_for
+from repro.bgp.rib import RouterState
+from repro.topology.astopo import AS, ASGraph, Relationship
+from repro.util.errors import ReproError
+
+
+@dataclass(frozen=True)
+class OutgoingUpdate:
+    """An update this speaker wants delivered to a neighbor.
+
+    ``as_path`` is the path as it should appear at the receiver (this
+    speaker's ASN already prepended).  ``as_path=None`` is a withdrawal.
+    """
+
+    neighbor: int
+    as_path: Optional[Tuple[int, ...]]
+    med: int = 0
+
+
+class BGPSpeaker:
+    """The BGP process of a single AS for the anycast prefix.
+
+    ``igp_overlay`` maps ``(asn, neighbor)`` to a session interior
+    cost overriding the topology's static one — the engine uses it to
+    model interior-routing churn between experiments.
+    """
+
+    def __init__(self, graph: ASGraph, node: AS, prefix: str, igp_overlay=None):
+        self.graph = graph
+        self.node = node
+        self.prefix = prefix
+        self.igp_overlay = igp_overlay or {}
+        self.state = RouterState(node.asn)
+
+    # -- inputs ----------------------------------------------------------
+
+    def inject(
+        self,
+        origin_asn: int,
+        rel_of_origin: Relationship,
+        site_pop: SitePop,
+        now: float,
+        prepend: int = 0,
+        poison: Tuple[int, ...] = (),
+    ) -> List[OutgoingUpdate]:
+        """Install a locally-originated anycast route (a directly
+        attached site announced to this AS).
+
+        Multiple sites announcing through the same AS merge into one
+        AS-level route whose arrival time is the earliest announcement;
+        site-level differences are resolved in the data plane (paper
+        S4.3: they disappear once the prefix is re-advertised).
+
+        ``prepend`` lengthens this session's announced AS path.  When
+        sessions of the same AS announce different path lengths, the
+        interior routers all prefer the shortest, so only the
+        shortest-path sessions keep their data-plane attachments (a
+        prepended site loses its catchment inside its own provider).
+        Withdrawing the last short-path site does not resurrect a
+        previously shadowed prepended one; experiments deploy fresh
+        configurations, as the paper's do.
+
+        ``poison`` lists ASNs spliced into the announced path
+        (``origin, poisoned..., origin``): their loop prevention drops
+        the route, steering traffic around them at the cost of a
+        longer path (paper S6, BGP poisoning).
+        """
+        if self.node.asn in poison:
+            raise ReproError(
+                f"cannot poison AS {self.node.asn}: it hosts the announcement"
+            )
+        as_path = (origin_asn,) * (1 + prepend)
+        if poison:
+            as_path = (origin_asn,) + tuple(poison) + as_path
+        existing = self.state.adj_rib_in.get(origin_asn)
+        if existing is not None:
+            if len(as_path) > len(existing.as_path):
+                return []  # shadowed by a shorter-path session
+            if len(as_path) == len(existing.as_path):
+                pops = tuple(sorted(
+                    set(existing.site_pops) | {site_pop},
+                    key=lambda sp: sp.site_id,
+                ))
+            else:
+                pops = (site_pop,)  # strictly shorter: replaces the set
+            route = Route(
+                prefix=self.prefix,
+                as_path=as_path,
+                learned_from=origin_asn,
+                local_pref=existing.local_pref,
+                learned_rel=existing.learned_rel,
+                arrival_time=min(existing.arrival_time, now),
+                site_pops=pops,
+            )
+        else:
+            route = Route(
+                prefix=self.prefix,
+                as_path=as_path,
+                learned_from=origin_asn,
+                local_pref=local_pref_for(self.node, origin_asn, rel_of_origin),
+                learned_rel=rel_of_origin,
+                arrival_time=now,
+                site_pops=(SitePop(site_pop.site_id, site_pop.pop_id, site_pop.link_rtt_ms),),
+            )
+        self.state.adj_rib_in[origin_asn] = route
+        return self._reevaluate()
+
+    def receive_announcement(
+        self,
+        neighbor: int,
+        as_path: Tuple[int, ...],
+        med: int,
+        now: float,
+    ) -> List[OutgoingUpdate]:
+        """Process an announcement from ``neighbor``; returns exports."""
+        if self.node.asn in as_path:
+            # Loop prevention: a path containing our own ASN is dropped.
+            return []
+        existing = self.state.adj_rib_in.get(neighbor)
+        if (
+            existing is not None
+            and existing.as_path == as_path
+            and existing.med == med
+        ):
+            # Duplicate refresh: route age is preserved, nothing changes.
+            return []
+        rel = self.graph.rel(self.node.asn, neighbor)
+        link = self.graph.link(self.node.asn, neighbor)
+        interior = self.igp_overlay.get((self.node.asn, neighbor))
+        if interior is None:
+            interior = link.igp_cost.get(self.node.asn, 0)
+        route = Route(
+            prefix=self.prefix,
+            as_path=as_path,
+            learned_from=neighbor,
+            local_pref=local_pref_for(self.node, neighbor, rel),
+            learned_rel=rel,
+            med=med,
+            interior_cost=interior,
+            arrival_time=now,
+        )
+        self.state.adj_rib_in[neighbor] = route
+        return self._reevaluate()
+
+    def receive_withdrawal(self, neighbor: int) -> List[OutgoingUpdate]:
+        """Process a withdrawal from ``neighbor``; returns exports."""
+        if neighbor not in self.state.adj_rib_in:
+            return []
+        del self.state.adj_rib_in[neighbor]
+        return self._reevaluate()
+
+    def withdraw_injection(self, origin_asn: int, site_id: int) -> List[OutgoingUpdate]:
+        """Remove one site from a locally injected route; drop the
+        route entirely when its last site is withdrawn."""
+        existing = self.state.adj_rib_in.get(origin_asn)
+        if existing is None:
+            return []
+        remaining = tuple(sp for sp in existing.site_pops if sp.site_id != site_id)
+        if remaining:
+            self.state.adj_rib_in[origin_asn] = Route(
+                prefix=existing.prefix,
+                as_path=existing.as_path,
+                learned_from=existing.learned_from,
+                local_pref=existing.local_pref,
+                learned_rel=existing.learned_rel,
+                arrival_time=existing.arrival_time,
+                site_pops=remaining,
+            )
+        else:
+            del self.state.adj_rib_in[origin_asn]
+        return self._reevaluate()
+
+    # -- decision + export -------------------------------------------------
+
+    def _reevaluate(self) -> List[OutgoingUpdate]:
+        state = self.state
+        old_best = state.best
+        new_best = best_route(state.routes(), self.node)
+        state.best = new_best
+        state.multipath = multipath_set(state.routes(), self.node)
+
+        if new_best is None:
+            out = [
+                OutgoingUpdate(neighbor=n, as_path=None)
+                for n in sorted(state.advertised_to)
+            ]
+            state.advertised_to.clear()
+            return out
+
+        if new_best.materially_equal(old_best):
+            return []
+
+        export_path = (self.node.asn,) + new_best.as_path
+        targets = [
+            n
+            for n in export_targets(
+                self.graph, self.node.asn, new_best.learned_rel, new_best.learned_from
+            )
+            if n not in new_best.as_path
+        ]
+        out: List[OutgoingUpdate] = []
+        target_set = set(targets)
+        for stale in sorted(set(state.advertised_to) - target_set):
+            out.append(OutgoingUpdate(neighbor=stale, as_path=None))
+            del state.advertised_to[stale]
+        for n in sorted(target_set):
+            previously = state.advertised_to.get(n)
+            if previously is not None and previously.as_path == export_path:
+                continue
+            advertised = Route(
+                prefix=self.prefix,
+                as_path=export_path,
+                learned_from=self.node.asn,
+                local_pref=0,
+            )
+            state.advertised_to[n] = advertised
+            out.append(OutgoingUpdate(neighbor=n, as_path=export_path))
+        return out

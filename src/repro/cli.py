@@ -1,0 +1,377 @@
+"""Command-line interface for the AnyOpt pipeline.
+
+Chains the paper's workflow across invocations via JSON artifacts::
+
+    anyopt build-testbed --seed 7 --out testbed.json
+    anyopt discover --testbed testbed.json --out model.json
+    anyopt optimize --testbed testbed.json --model model.json --size 12
+    anyopt evaluate --testbed testbed.json --model model.json --sites 1,4,6
+    anyopt catchment --testbed testbed.json --sites 1,4,6 --chart
+    anyopt peers --testbed testbed.json --sites 1,4,6 --max-peers 20
+    anyopt plan --sites 500 --providers 20
+
+Also runnable as ``python -m repro ...``.
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.anyopt import AnyOpt
+from repro.core.config import AnycastConfig
+from repro.core.planner import SiteLevelStrategy, plan_measurements
+from repro.core.twolevel import SiteLevelMode
+from repro.io import load_model, load_testbed, save_model, save_testbed
+from repro.measurement import Orchestrator, select_targets
+from repro.report import render_catchment_bars, render_cdf, render_table
+from repro.topology import TestbedParams, TopologyParams, build_paper_testbed
+from repro.util.errors import ReproError
+
+
+def _parse_id_list(raw: str) -> tuple:
+    try:
+        return tuple(int(x) for x in raw.split(",") if x.strip() != "")
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated id list, got {raw!r}"
+        ) from None
+
+
+def _make_anyopt(args) -> AnyOpt:
+    testbed = load_testbed(args.testbed)
+    targets = select_targets(testbed.internet, seed=args.seed)
+    return AnyOpt(testbed, targets=targets, seed=args.seed)
+
+
+# --- subcommands -----------------------------------------------------------
+
+
+def cmd_build_testbed(args) -> int:
+    params = TestbedParams(
+        topology=TopologyParams(n_stub=args.stubs, n_tier2=args.tier2)
+    )
+    testbed = build_paper_testbed(params, seed=args.seed)
+    save_testbed(testbed, args.out)
+    graph = testbed.internet.graph
+    print(
+        f"built testbed: {len(testbed.site_ids())} sites, "
+        f"{len(testbed.provider_asns())} providers, "
+        f"{len(graph)} ASes, {len(testbed.peer_links)} peering links"
+    )
+    print(f"saved to {args.out}")
+    return 0
+
+
+def cmd_discover(args) -> int:
+    anyopt = _make_anyopt(args)
+    if args.site_level == "rtt":
+        anyopt.site_level_mode = SiteLevelMode.RTT_HEURISTIC
+    model = anyopt.discover()
+    save_model(model, args.out)
+    order = tuple(anyopt.testbed.site_ids())
+    with_order = sum(
+        1
+        for t in anyopt.targets
+        if model.total_order(t.target_id, order).has_total_order
+    )
+    print(f"measurement campaign: {model.experiments_used} BGP experiments")
+    print(
+        f"clients with a total preference order: "
+        f"{with_order}/{len(anyopt.targets)} "
+        f"({100 * with_order / len(anyopt.targets):.1f}%)"
+    )
+    print(f"saved model to {args.out}")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    anyopt = _make_anyopt(args)
+    model = load_model(args.model, anyopt.testbed)
+    sizes = [args.size] if args.size else None
+    report = anyopt.optimize(
+        model, strategy=args.strategy, sizes=sizes,
+        max_evaluations=args.max_evaluations,
+    )
+    print(f"best configuration ({report.solver}, {report.evaluations} evaluations):")
+    print(f"  sites (announce order): {','.join(map(str, report.best_config.site_order))}")
+    print(f"  predicted mean RTT: {report.predicted_mean_rtt:.1f} ms")
+    print(
+        f"  clients with total order under chosen announce order: "
+        f"{report.consistent_clients}/{report.total_clients}"
+    )
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    anyopt = _make_anyopt(args)
+    model = load_model(args.model, anyopt.testbed)
+    config = AnycastConfig(site_order=args.sites, peer_ids=args.peers or ())
+    evaluation = anyopt.evaluate(model, config)
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["catchment accuracy", f"{100 * evaluation.accuracy:.1f}%"],
+            ["prediction coverage", f"{100 * evaluation.coverage:.1f}%"],
+            ["predicted mean RTT", f"{evaluation.predicted_mean_rtt:.1f} ms"],
+            ["measured mean RTT", f"{evaluation.measured_mean_rtt:.1f} ms"],
+            ["abs error", f"{evaluation.abs_rtt_error_ms:.1f} ms"],
+            ["relative error", f"{100 * evaluation.rel_rtt_error:.1f}%"],
+        ],
+    ))
+    return 0
+
+
+def cmd_catchment(args) -> int:
+    anyopt = _make_anyopt(args)
+    config = AnycastConfig(site_order=args.sites, peer_ids=args.peers or ())
+    deployment = anyopt.deploy(config)
+    cmap = deployment.measure_catchments()
+    print("catchment split:")
+    print(render_catchment_bars(cmap.catchment_sizes(), total=len(anyopt.targets)))
+    unmapped = len(anyopt.targets) - cmap.mapped_count()
+    if unmapped:
+        print(f"unmapped targets: {unmapped}")
+    if args.chart:
+        rtts = [
+            r
+            for r in (deployment.measure_rtt(t) for t in anyopt.targets)
+            if r is not None
+        ]
+        print("\nRTT CDF:")
+        print(render_cdf(rtts, label="rtt(ms)"))
+    return 0
+
+
+def cmd_peers(args) -> int:
+    anyopt = _make_anyopt(args)
+    base = AnycastConfig(site_order=args.sites)
+    peer_ids = anyopt.testbed.peer_ids()
+    if args.max_peers:
+        peer_ids = peer_ids[: args.max_peers]
+    report = anyopt.incorporate_peers(base, peer_ids=peer_ids)
+    beneficial = report.beneficial_peers()
+    print(
+        f"probed {len(report.probes)} peers: "
+        f"{len(report.reachable_probes())} reachable, "
+        f"{len(beneficial)} beneficial"
+    )
+    print(f"selected peers: {','.join(map(str, report.selected_peers)) or '(none)'}")
+    print(render_table(
+        ["metric", "ms"],
+        [
+            ["baseline mean RTT", report.base_mean_rtt_ms],
+            ["estimated with peers", report.estimated_final_mean_rtt_ms],
+            ["measured with peers", report.final_mean_rtt_ms],
+        ],
+    ))
+    return 0
+
+
+def cmd_stability(args) -> int:
+    from repro.core.stability import run_stability_study
+
+    anyopt = _make_anyopt(args)
+    config = AnycastConfig(site_order=args.sites)
+    report = run_stability_study(anyopt.orchestrator, config, epochs=args.epochs)
+    rows = []
+    for snap in report.snapshots:
+        unchanged = (
+            "(baseline)"
+            if snap.unchanged_fraction is None
+            else f"{100 * snap.unchanged_fraction:.1f}%"
+        )
+        rows.append([snap.epoch, unchanged, f"{snap.mean_rtt_ms:.1f}"])
+    print(render_table(["epoch", "unchanged catchments", "mean RTT (ms)"], rows))
+    verdict = (
+        "re-measurement recommended"
+        if report.needs_remeasurement()
+        else "configuration still healthy"
+    )
+    print(f"verdict: {verdict}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.bgp import explain_catchment
+
+    anyopt = _make_anyopt(args)
+    config = AnycastConfig(site_order=args.sites, peer_ids=args.peers or ())
+    deployment = anyopt.deploy(config)
+    print(
+        explain_catchment(
+            anyopt.testbed.internet,
+            deployment.converged,
+            args.client,
+            flow_nonce=deployment.experiment_id,
+        )
+    )
+    return 0
+
+
+def cmd_diff(args) -> int:
+    from repro.core.diffs import diff_deployments
+
+    anyopt = _make_anyopt(args)
+    before = anyopt.deploy(AnycastConfig(site_order=args.before))
+    after = anyopt.deploy(AnycastConfig(site_order=args.after))
+    diff = diff_deployments(before, after)
+    print(
+        f"moved {len(diff.moves)}/{diff.unchanged + len(diff.moves)} clients "
+        f"({100 * diff.moved_fraction:.1f}%), {diff.unmapped} unmapped"
+    )
+    flows = sorted(diff.flows().items(), key=lambda kv: -kv[1])
+    rows = [
+        [src if src is not None else "-", dst if dst is not None else "-", count]
+        for (src, dst), count in flows[:15]
+    ]
+    if rows:
+        print(render_table(["from site", "to site", "clients"], rows))
+        try:
+            print(f"mean RTT change of movers: {diff.mean_rtt_delta_ms():+.1f} ms")
+        except ReproError:
+            pass
+    return 0
+
+
+def cmd_plan(args) -> int:
+    plan = plan_measurements(
+        n_sites=args.sites,
+        n_providers=args.providers,
+        site_level=SiteLevelStrategy(args.site_level),
+        parallel_prefixes=args.prefixes,
+        spacing_hours=args.spacing_hours,
+    )
+    print(render_table(
+        ["experiments", "count", "hours", "days"],
+        [
+            ["singleton", plan.singleton_experiments,
+             plan.singleton_hours, plan.singleton_hours / 24],
+            ["provider pairwise", plan.provider_pairwise_experiments,
+             plan.hours_for(plan.provider_pairwise_experiments),
+             plan.hours_for(plan.provider_pairwise_experiments) / 24],
+            ["site pairwise", plan.site_pairwise_experiments,
+             plan.hours_for(plan.site_pairwise_experiments),
+             plan.hours_for(plan.site_pairwise_experiments) / 24],
+            ["total", plan.total_experiments,
+             plan.hours_for(plan.total_experiments),
+             plan.total_days],
+        ],
+    ))
+    print(f"naive alternative: 2^{args.sites} trial deployments")
+    return 0
+
+
+# --- parser -----------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="anyopt",
+        description="AnyOpt: predict and optimize IP anycast performance "
+        "(SIGCOMM 2021 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build-testbed", help="generate and save a testbed")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--stubs", type=int, default=600)
+    p.add_argument("--tier2", type=int, default=48)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_build_testbed)
+
+    p = sub.add_parser("discover", help="run the measurement campaign")
+    p.add_argument("--testbed", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--site-level", choices=["pairwise", "rtt"], default="pairwise")
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_discover)
+
+    p = sub.add_parser("optimize", help="offline configuration search")
+    p.add_argument("--testbed", required=True)
+    p.add_argument("--model", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--size", type=int, default=None, help="deployment size")
+    p.add_argument(
+        "--strategy",
+        choices=["exhaustive", "greedy", "local_search", "annealing"],
+        default="exhaustive",
+    )
+    p.add_argument("--max-evaluations", type=int, default=None)
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("evaluate", help="deploy a config and check predictions")
+    p.add_argument("--testbed", required=True)
+    p.add_argument("--model", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sites", type=_parse_id_list, required=True)
+    p.add_argument("--peers", type=_parse_id_list, default=())
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("catchment", help="deploy a config and map catchments")
+    p.add_argument("--testbed", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sites", type=_parse_id_list, required=True)
+    p.add_argument("--peers", type=_parse_id_list, default=())
+    p.add_argument("--chart", action="store_true", help="also draw the RTT CDF")
+    p.set_defaults(func=cmd_catchment)
+
+    p = sub.add_parser("peers", help="one-pass beneficial-peer selection")
+    p.add_argument("--testbed", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sites", type=_parse_id_list, required=True)
+    p.add_argument("--max-peers", type=int, default=None)
+    p.set_defaults(func=cmd_peers)
+
+    p = sub.add_parser("stability", help="weekly re-measurement study (S6)")
+    p.add_argument("--testbed", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sites", type=_parse_id_list, required=True)
+    p.add_argument("--epochs", type=int, default=3)
+    p.set_defaults(func=cmd_stability)
+
+    p = sub.add_parser(
+        "explain", help="narrate why one client lands at its catchment site"
+    )
+    p.add_argument("--testbed", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sites", type=_parse_id_list, required=True)
+    p.add_argument("--peers", type=_parse_id_list, default=())
+    p.add_argument("--client", type=int, required=True, help="client ASN")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "diff", help="compare the catchments of two configurations"
+    )
+    p.add_argument("--testbed", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--before", type=_parse_id_list, required=True)
+    p.add_argument("--after", type=_parse_id_list, required=True)
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("plan", help="measurement budget analysis (S4.5)")
+    p.add_argument("--sites", type=int, required=True)
+    p.add_argument("--providers", type=int, required=True)
+    p.add_argument("--site-level", choices=["pairwise", "rtt"], default="rtt")
+    p.add_argument("--prefixes", type=int, default=4)
+    p.add_argument("--spacing-hours", type=float, default=2.0)
+    p.set_defaults(func=cmd_plan)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""The AnyOpt facade: measure, model, predict, optimize (S4.5).
+
+Typical use::
+
+    testbed = build_paper_testbed(seed=7)
+    anyopt = AnyOpt(testbed, seed=7)
+    model = anyopt.discover()                  # BGP experiments
+    report = anyopt.optimize(model)            # offline SPLPO search
+    evaluation = anyopt.evaluate(model, report.best_config)
+    peers = anyopt.incorporate_peers(report.best_config)
+"""
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.config import AnycastConfig
+from repro.core.experiments import ExperimentRunner
+from repro.core.optimizer import OptimizationReport, search_configurations
+from repro.core.peers import OnePassReport, one_pass_peer_selection
+from repro.core.prediction import CatchmentPredictor, PredictionReport
+from repro.core.twolevel import SiteLevelMode, TwoLevelModel, discover_two_level
+from repro.measurement.orchestrator import Deployment, Orchestrator
+from repro.measurement.rtt import RttMatrix
+from repro.measurement.targets import TargetSet, select_targets
+from repro.topology.testbed import Testbed
+
+
+@dataclass
+class AnyOptModel:
+    """Everything AnyOpt learned from its measurement campaign."""
+
+    testbed: Testbed
+    rtt_matrix: RttMatrix
+    twolevel: TwoLevelModel
+    predictor: CatchmentPredictor
+    experiments_used: int
+
+    def total_order(self, client_id: int, site_order: Sequence[int]):
+        """Delegate so the model can be used wherever a preference
+        model is expected."""
+        return self.twolevel.total_order(client_id, site_order)
+
+
+class AnyOpt:
+    """End-to-end driver for the AnyOpt pipeline on a testbed."""
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        targets: Optional[TargetSet] = None,
+        seed=0,
+        site_level_mode: SiteLevelMode = SiteLevelMode.PAIRWISE,
+        session_churn_prob: float = 0.02,
+        rtt_drift_sigma: float = 0.04,
+        rtt_bias_sigma: float = 0.03,
+    ):
+        self.testbed = testbed
+        self.seed = seed
+        self.site_level_mode = site_level_mode
+        self.targets = (
+            targets
+            if targets is not None
+            else select_targets(testbed.internet, seed=seed)
+        )
+        self.orchestrator = Orchestrator(
+            testbed,
+            self.targets,
+            seed=seed,
+            session_churn_prob=session_churn_prob,
+            rtt_drift_sigma=rtt_drift_sigma,
+            rtt_bias_sigma=rtt_bias_sigma,
+        )
+        self.runner = ExperimentRunner(self.orchestrator)
+
+    # -- measurement -------------------------------------------------------
+
+    def discover(self) -> AnyOptModel:
+        """Run the full measurement campaign (S4.5 steps 1-2):
+        singleton RTT experiments plus two-level pairwise discovery."""
+        before = self.orchestrator.experiment_count
+        rtt_matrix = self.orchestrator.measure_rtt_matrix()
+        twolevel = discover_two_level(
+            self.runner,
+            rtt_matrix=rtt_matrix,
+            site_level_mode=self.site_level_mode,
+        )
+        return AnyOptModel(
+            testbed=self.testbed,
+            rtt_matrix=rtt_matrix,
+            twolevel=twolevel,
+            predictor=CatchmentPredictor(twolevel, rtt_matrix),
+            experiments_used=self.orchestrator.experiment_count - before,
+        )
+
+    # -- offline computation ---------------------------------------------------
+
+    def optimize(
+        self,
+        model: AnyOptModel,
+        strategy: str = "exhaustive",
+        sizes: Optional[Iterable[int]] = None,
+        max_evaluations: Optional[int] = None,
+        **solver_kwargs,
+    ) -> OptimizationReport:
+        """Search configurations offline (S4.5 step 3)."""
+        return search_configurations(
+            model.twolevel,
+            model.rtt_matrix,
+            self.targets,
+            strategy=strategy,
+            sizes=sizes,
+            max_evaluations=max_evaluations,
+            seed=self.seed,
+            **solver_kwargs,
+        )
+
+    # -- deployment & validation --------------------------------------------------
+
+    def deploy(self, config: AnycastConfig) -> Deployment:
+        return self.orchestrator.deploy(config)
+
+    def evaluate(self, model: AnyOptModel, config: AnycastConfig) -> PredictionReport:
+        """Deploy ``config`` and compare predictions with measurements
+        (the S5.2 experiment)."""
+        deployment = self.orchestrator.deploy(config)
+        return model.predictor.evaluate(config, deployment, self.targets)
+
+    def incorporate_peers(
+        self, config: AnycastConfig, peer_ids: Optional[Sequence[int]] = None
+    ) -> OnePassReport:
+        """Run the one-pass peer heuristic on top of ``config`` (S4.4)."""
+        return one_pass_peer_selection(self.orchestrator, config, peer_ids=peer_ids)

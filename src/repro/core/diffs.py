@@ -1,0 +1,98 @@
+"""Catchment diffs between deployments.
+
+Operational tooling on top of the measurement plane: given two
+deployments (before/after a reconfiguration, or two epochs of the same
+configuration), summarize which clients moved, between which sites,
+and what it did to their latency.  Used by the stability workflow and
+the ``anyopt diff`` CLI command.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.measurement.orchestrator import Deployment
+from repro.measurement.targets import PingTarget, TargetSet
+from repro.util.errors import ReproError
+from repro.util.stats import mean
+
+
+@dataclass(frozen=True)
+class ClientMove:
+    """One client whose catchment changed."""
+
+    target_id: int
+    asn: int
+    from_site: Optional[int]
+    to_site: Optional[int]
+    rtt_before_ms: Optional[float]
+    rtt_after_ms: Optional[float]
+
+    @property
+    def rtt_delta_ms(self) -> Optional[float]:
+        if self.rtt_before_ms is None or self.rtt_after_ms is None:
+            return None
+        return self.rtt_after_ms - self.rtt_before_ms
+
+
+@dataclass
+class CatchmentDiff:
+    """Summary of catchment movement between two deployments."""
+
+    total_targets: int
+    moves: List[ClientMove] = field(default_factory=list)
+    unchanged: int = 0
+    unmapped: int = 0
+
+    @property
+    def moved_fraction(self) -> float:
+        comparable = self.unchanged + len(self.moves)
+        return len(self.moves) / comparable if comparable else 0.0
+
+    def flows(self) -> Dict[Tuple[Optional[int], Optional[int]], int]:
+        """(from_site, to_site) -> number of clients."""
+        out: Dict[Tuple[Optional[int], Optional[int]], int] = {}
+        for move in self.moves:
+            key = (move.from_site, move.to_site)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def mean_rtt_delta_ms(self) -> float:
+        """Mean latency change across moved clients with RTTs in both
+        deployments."""
+        deltas = [m.rtt_delta_ms for m in self.moves if m.rtt_delta_ms is not None]
+        if not deltas:
+            raise ReproError("no moved client has RTTs in both deployments")
+        return mean(deltas)
+
+
+def diff_deployments(
+    before: Deployment,
+    after: Deployment,
+    targets: Optional[TargetSet] = None,
+) -> CatchmentDiff:
+    """Compare two deployments' true forwarding states per target."""
+    if targets is None:
+        targets = before.orchestrator.targets
+    diff = CatchmentDiff(total_targets=len(list(targets)))
+    for target in targets:
+        out_a = before.forwarding(target)
+        out_b = after.forwarding(target)
+        site_a = out_a.site_id if out_a else None
+        site_b = out_b.site_id if out_b else None
+        if site_a is None and site_b is None:
+            diff.unmapped += 1
+            continue
+        if site_a == site_b:
+            diff.unchanged += 1
+            continue
+        diff.moves.append(
+            ClientMove(
+                target_id=target.target_id,
+                asn=target.asn,
+                from_site=site_a,
+                to_site=site_b,
+                rtt_before_ms=before.true_rtt(target),
+                rtt_after_ms=after.true_rtt(target),
+            )
+        )
+    return diff

@@ -1,0 +1,136 @@
+"""BGP experiment drivers: singleton and pairwise measurements.
+
+These wrap the orchestrator into the experiment vocabulary of the
+paper: *singleton* experiments (one site announces; used for RTT
+measurement), *ordered pairwise* experiments (two sites announce,
+spaced; run twice with the order reversed — S4.2), and *simultaneous
+pairwise* experiments (the naive baseline that ignores announcement
+order — S5.1).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.config import AnycastConfig
+from repro.core.preferences import PairObservation, PreferenceMatrix
+from repro.measurement.orchestrator import Deployment, Orchestrator
+from repro.measurement.verfploeter import CatchmentMap
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class SingletonResult:
+    """One site announcing alone: its RTT to every target."""
+
+    site_id: int
+    experiment_id: int
+    rtts: Dict[int, Optional[float]]
+    catchment: CatchmentMap
+
+
+@dataclass
+class PairwiseResult:
+    """An ordered pairwise experiment: both announcement orders.
+
+    ``map_a_first`` holds the catchments with ``site_a`` announced
+    first; ``map_b_first`` the reversed order.
+    """
+
+    site_a: int
+    site_b: int
+    map_a_first: CatchmentMap
+    map_b_first: CatchmentMap
+
+    def observation(self, client_id: int) -> PairObservation:
+        return PairObservation(
+            site_a=self.site_a,
+            site_b=self.site_b,
+            winner_a_first=self.map_a_first.site_of(client_id),
+            winner_b_first=self.map_b_first.site_of(client_id),
+        )
+
+    def order_changed(self, client_id: int) -> bool:
+        """True when reversing the announcement order changed this
+        client's catchment (the Figure 4a statistic)."""
+        w1 = self.map_a_first.site_of(client_id)
+        w2 = self.map_b_first.site_of(client_id)
+        return w1 is not None and w2 is not None and w1 != w2
+
+
+class ExperimentRunner:
+    """Runs the paper's experiment repertoire on an orchestrator."""
+
+    def __init__(self, orchestrator: Orchestrator):
+        self.orchestrator = orchestrator
+
+    @property
+    def experiment_count(self) -> int:
+        """BGP experiments consumed so far (the S4.5 budget)."""
+        return self.orchestrator.experiment_count
+
+    # -- singleton ---------------------------------------------------------
+
+    def run_singleton(self, site_id: int) -> SingletonResult:
+        """Announce from one site only; measure RTT to every target."""
+        deployment = self.orchestrator.deploy(AnycastConfig(site_order=(site_id,)))
+        rtts = {
+            t.target_id: deployment.measure_rtt(t) for t in self.orchestrator.targets
+        }
+        return SingletonResult(
+            site_id=site_id,
+            experiment_id=deployment.experiment_id,
+            rtts=rtts,
+            catchment=deployment.measure_catchments(),
+        )
+
+    # -- pairwise -----------------------------------------------------------
+
+    def run_pairwise(self, site_a: int, site_b: int) -> PairwiseResult:
+        """The S4.2 protocol: announce (a then b), measure, withdraw,
+        announce (b then a), measure."""
+        if site_a == site_b:
+            raise ConfigurationError("pairwise experiment needs two distinct sites")
+        dep_ab = self.orchestrator.deploy(AnycastConfig(site_order=(site_a, site_b)))
+        dep_ba = self.orchestrator.deploy(AnycastConfig(site_order=(site_b, site_a)))
+        return PairwiseResult(
+            site_a=site_a,
+            site_b=site_b,
+            map_a_first=dep_ab.measure_catchments(),
+            map_b_first=dep_ba.measure_catchments(),
+        )
+
+    def run_pairwise_simultaneous(self, site_a: int, site_b: int) -> PairwiseResult:
+        """The naive baseline: both sites announce at the same instant,
+        so per-router arrival order is a race decided by propagation
+        delays.  The single run is recorded as both orders."""
+        if site_a == site_b:
+            raise ConfigurationError("pairwise experiment needs two distinct sites")
+        deployment = self.orchestrator.deploy(
+            AnycastConfig(site_order=(site_a, site_b), spacing_ms=0.0)
+        )
+        cmap = deployment.measure_catchments()
+        return PairwiseResult(
+            site_a=site_a, site_b=site_b, map_a_first=cmap, map_b_first=cmap
+        )
+
+    # -- sweeps ---------------------------------------------------------------
+
+    def pairwise_sweep(
+        self,
+        site_ids: Iterable[int],
+        ordered: bool = True,
+    ) -> PreferenceMatrix:
+        """Run pairwise experiments over every pair in ``site_ids`` and
+        collect all clients' observations."""
+        sites = sorted(set(site_ids))
+        matrix = PreferenceMatrix()
+        for i, a in enumerate(sites):
+            for b in sites[i + 1:]:
+                result = (
+                    self.run_pairwise(a, b)
+                    if ordered
+                    else self.run_pairwise_simultaneous(a, b)
+                )
+                for target in self.orchestrator.targets:
+                    matrix.record(target.target_id, result.observation(target.target_id))
+        return matrix

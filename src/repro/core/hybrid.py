@@ -1,0 +1,161 @@
+"""Hybrid discovery: BGP routing tables + active measurements (S6).
+
+The paper's future-work direction for shrinking the experiment budget:
+"rely on publicly available BGP routing tables to infer as much about
+catchments as possible, and then supplement the information gleaned
+from these tables with active measurements."
+
+A :func:`collect_tables` pass records, at a set of *vantage* ASes
+(networks that feed a route collector), the best route each vantage
+held during the singleton experiments AnyOpt already runs for RTT
+measurement — so the tables are free.  :func:`infer_preferences` then
+compares each vantage's routes to two sites through the deterministic
+decision steps: when one route wins outright, the pairwise preference
+is known without any pairwise experiment; ties (which only hidden
+state — arrival order — can break) remain undecided and still need
+active measurement.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bgp.messages import Route
+from repro.core.config import AnycastConfig
+from repro.core.preferences import PairObservation, PreferenceMatrix
+from repro.measurement.orchestrator import Orchestrator
+from repro.util.errors import ConfigurationError
+from repro.util.rng import derive_rng
+
+
+def select_vantage_points(internet, fraction: float = 0.10, seed=0) -> List[int]:
+    """Sample ASes that feed the route collector.
+
+    Real collectors (RouteViews, RIPE RIS) see tables from a small,
+    skewed subset of ASes; we sample uniformly from the non-tier-1
+    population.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError("vantage fraction must be in (0, 1]")
+    rng = derive_rng(seed, "vantage-points")
+    candidates = [
+        asn for asn in internet.graph.asns() if internet.graph.as_of(asn).tier != 1
+    ]
+    count = max(1, int(fraction * len(candidates)))
+    return sorted(rng.sample(candidates, count))
+
+
+def collect_tables(
+    orchestrator: Orchestrator,
+    site_ids: Sequence[int],
+    vantage_asns: Sequence[int],
+) -> Dict[int, Dict[int, Optional[Route]]]:
+    """Record each vantage AS's best route during one singleton
+    experiment per site.
+
+    Returns ``{site_id: {vantage_asn: Route-or-None}}``.  Costs one
+    BGP experiment per site — the same singletons the RTT campaign
+    needs, so in a combined pipeline these tables are free.
+    """
+    tables: Dict[int, Dict[int, Optional[Route]]] = {}
+    for site_id in site_ids:
+        deployment = orchestrator.deploy(AnycastConfig(site_order=(site_id,)))
+        tables[site_id] = {
+            asn: deployment.converged.states[asn].best for asn in vantage_asns
+        }
+    return tables
+
+
+@dataclass(frozen=True)
+class HybridStats:
+    """How much the tables decided without active experiments."""
+
+    vantage_count: int
+    pair_count: int
+    cells_total: int
+    cells_decided: int
+    cells_undecided: int
+
+    @property
+    def decided_fraction(self) -> float:
+        return self.cells_decided / self.cells_total if self.cells_total else 0.0
+
+
+def _table_winner(ra: Optional[Route], rb: Optional[Route]) -> Optional[str]:
+    """Which of two table routes wins through the deterministic steps:
+    'a', 'b', or None when undecidable from tables alone."""
+    if ra is None and rb is None:
+        return None
+    if rb is None:
+        return "a"
+    if ra is None:
+        return "b"
+    key_a = (-ra.local_pref, ra.path_length, ra.origin_code, ra.med, ra.interior_cost)
+    key_b = (-rb.local_pref, rb.path_length, rb.origin_code, rb.med, rb.interior_cost)
+    if key_a < key_b:
+        return "a"
+    if key_b < key_a:
+        return "b"
+    return None  # hidden tie-break state decides; needs measurement
+
+
+def infer_preferences(
+    tables: Dict[int, Dict[int, Optional[Route]]],
+    site_ids: Sequence[int],
+) -> Tuple[PreferenceMatrix, HybridStats]:
+    """Pre-fill pairwise preferences for every vantage AS from tables.
+
+    The returned matrix is keyed by vantage ASN.  Only outright
+    winners are recorded; ties stay absent and must be measured.
+    """
+    site_ids = sorted(site_ids)
+    missing = [s for s in site_ids if s not in tables]
+    if missing:
+        raise ConfigurationError(f"no table snapshot for sites {missing}")
+    vantages = sorted(
+        set().union(*(tables[s].keys() for s in site_ids))
+    ) if site_ids else []
+    matrix = PreferenceMatrix()
+    decided = 0
+    undecided = 0
+    pair_count = 0
+    for i, a in enumerate(site_ids):
+        for b in site_ids[i + 1:]:
+            pair_count += 1
+            for vantage in vantages:
+                winner = _table_winner(tables[a].get(vantage), tables[b].get(vantage))
+                if winner is None:
+                    undecided += 1
+                    continue
+                decided += 1
+                site = a if winner == "a" else b
+                matrix.record(
+                    vantage,
+                    PairObservation(a, b, winner_a_first=site, winner_b_first=site),
+                )
+    stats = HybridStats(
+        vantage_count=len(vantages),
+        pair_count=pair_count,
+        cells_total=pair_count * len(vantages),
+        cells_decided=decided,
+        cells_undecided=undecided,
+    )
+    return matrix, stats
+
+
+def undecided_pairs(
+    matrix: PreferenceMatrix,
+    site_ids: Sequence[int],
+    vantage_asns: Sequence[int],
+) -> List[Tuple[int, int]]:
+    """Site pairs that still need an active pairwise experiment for at
+    least one vantage AS — the "supplement with active measurements"
+    half of the hybrid."""
+    site_ids = sorted(site_ids)
+    out: List[Tuple[int, int]] = []
+    for i, a in enumerate(site_ids):
+        for b in site_ids[i + 1:]:
+            if any(
+                matrix.observation(v, a, b) is None for v in vantage_asns
+            ):
+                out.append((a, b))
+    return out

@@ -1,0 +1,149 @@
+"""The one-pass beneficial-peer heuristic (S4.4).
+
+Starting from the optimal transit-only configuration, each peering
+link is enabled alone for one measurement; peers that reduce the mean
+RTT are "beneficial".  Beneficial peers are then added greedily in
+descending catchment-size order, under the conservative assumption
+that a newly added peer captures its entire one-pass catchment — a
+peer is kept only if the estimate still improves.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.config import AnycastConfig
+from repro.measurement.orchestrator import Deployment, Orchestrator
+from repro.util.errors import ConfigurationError
+from repro.util.stats import mean
+
+
+@dataclass(frozen=True)
+class PeerProbeResult:
+    """Measurements from enabling one peer on top of the base config."""
+
+    peer_id: int
+    peer_asn: int
+    site_id: int
+    catchment: FrozenSet[int]
+    mean_rtt_ms: float
+    delta_ms: float
+    catchment_rtts: Dict[int, float]
+
+    @property
+    def beneficial(self) -> bool:
+        return self.delta_ms < 0.0
+
+    def catchment_fraction(self, n_targets: int) -> float:
+        return len(self.catchment) / n_targets if n_targets else 0.0
+
+
+@dataclass
+class OnePassReport:
+    """Full outcome of the one-pass heuristic."""
+
+    base_config: AnycastConfig
+    base_mean_rtt_ms: float
+    probes: List[PeerProbeResult]
+    selected_peers: Tuple[int, ...]
+    final_config: AnycastConfig
+    final_mean_rtt_ms: float
+    estimated_final_mean_rtt_ms: float
+
+    def beneficial_peers(self) -> List[int]:
+        return [p.peer_id for p in self.probes if p.beneficial]
+
+    def reachable_probes(self) -> List[PeerProbeResult]:
+        """Peers whose announcement attracted at least one target
+        (the paper found 72 of its 104 peers reachable, S5.4)."""
+        return [p for p in self.probes if p.catchment]
+
+
+def probe_peer(
+    orchestrator: Orchestrator,
+    base_config: AnycastConfig,
+    peer_id: int,
+    base_mean_rtt: float,
+) -> PeerProbeResult:
+    """Enable one peer on the base configuration and measure it."""
+    link = orchestrator.testbed.peer_link(peer_id)
+    deployment = orchestrator.deploy(base_config.with_peers((peer_id,)))
+    catchment: set = set()
+    catchment_rtts: Dict[int, float] = {}
+    rtts: List[float] = []
+    for target in orchestrator.targets:
+        outcome = deployment.forwarding(target)
+        if outcome is None:
+            continue
+        measured = deployment.measure_rtt(target)
+        if measured is None:
+            continue
+        rtts.append(measured)
+        if outcome.terminating_asn == link.peer_asn:
+            catchment.add(target.target_id)
+            catchment_rtts[target.target_id] = measured
+    mean_rtt = mean(rtts) if rtts else float("inf")
+    return PeerProbeResult(
+        peer_id=peer_id,
+        peer_asn=link.peer_asn,
+        site_id=link.site_id,
+        catchment=frozenset(catchment),
+        mean_rtt_ms=mean_rtt,
+        delta_ms=mean_rtt - base_mean_rtt,
+        catchment_rtts=catchment_rtts,
+    )
+
+
+def one_pass_peer_selection(
+    orchestrator: Orchestrator,
+    base_config: AnycastConfig,
+    peer_ids: Optional[Sequence[int]] = None,
+) -> OnePassReport:
+    """Run the full one-pass protocol: M single-peer measurements, a
+    greedy selection, then one deployment of the selected set."""
+    if base_config.peer_ids:
+        raise ConfigurationError("base configuration must be transit-only")
+    peer_ids = (
+        list(peer_ids) if peer_ids is not None else orchestrator.testbed.peer_ids()
+    )
+
+    base = orchestrator.deploy(base_config)
+    base_rtts: Dict[int, float] = {}
+    for target in orchestrator.targets:
+        measured = base.measure_rtt(target)
+        if measured is not None:
+            base_rtts[target.target_id] = measured
+    base_mean = mean(base_rtts.values())
+
+    probes = [
+        probe_peer(orchestrator, base_config, peer_id, base_mean)
+        for peer_id in peer_ids
+    ]
+
+    # Greedy selection in descending catchment size, conservative
+    # whole-catchment switch assumption.
+    estimate = dict(base_rtts)
+    current_mean = mean(estimate.values())
+    selected: List[int] = []
+    for probe in sorted(
+        (p for p in probes if p.beneficial),
+        key=lambda p: (-len(p.catchment), p.peer_id),
+    ):
+        candidate = dict(estimate)
+        candidate.update(probe.catchment_rtts)
+        candidate_mean = mean(candidate.values())
+        if candidate_mean < current_mean:
+            selected.append(probe.peer_id)
+            estimate = candidate
+            current_mean = candidate_mean
+
+    final_config = base_config.with_peers(tuple(selected))
+    final = orchestrator.deploy(final_config)
+    return OnePassReport(
+        base_config=base_config,
+        base_mean_rtt_ms=base_mean,
+        probes=probes,
+        selected_peers=tuple(selected),
+        final_config=final_config,
+        final_mean_rtt_ms=final.measure_mean_rtt(),
+        estimated_final_mean_rtt_ms=current_mean,
+    )

@@ -1,0 +1,145 @@
+"""Catchment and RTT prediction for arbitrary configurations.
+
+With total orders and the per-site RTT matrix in hand, predicting a
+configuration is pure offline computation: a client's catchment is its
+most preferred enabled site, and its RTT is the measured unicast RTT to
+that site (S3.4).  ``evaluate`` deploys the configuration on the
+simulated Internet and compares — the experiment behind the paper's
+Figures 5a-5c.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.config import AnycastConfig
+from repro.measurement.orchestrator import Deployment
+from repro.measurement.rtt import RttMatrix
+from repro.measurement.targets import PingTarget
+from repro.util.errors import ReproError
+from repro.util.stats import mean, relative_error
+
+
+@dataclass
+class PredictionReport:
+    """Predicted-versus-measured comparison for one configuration."""
+
+    config: AnycastConfig
+    n_targets: int
+    n_predicted: int
+    n_correct: int
+    predicted_mean_rtt: float
+    measured_mean_rtt: float
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of predicted clients whose measured catchment
+        matched (paper: 94.7% on average)."""
+        if self.n_predicted == 0:
+            raise ReproError("no predictable clients to score")
+        return self.n_correct / self.n_predicted
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of clients for which a prediction was made."""
+        return self.n_predicted / self.n_targets if self.n_targets else 0.0
+
+    @property
+    def abs_rtt_error_ms(self) -> float:
+        return abs(self.predicted_mean_rtt - self.measured_mean_rtt)
+
+    @property
+    def rel_rtt_error(self) -> float:
+        return relative_error(self.predicted_mean_rtt, self.measured_mean_rtt)
+
+
+class CatchmentPredictor:
+    """Predicts catchments and RTTs from a preference model.
+
+    ``model`` is anything exposing
+    ``total_order(client_id, site_order) -> TotalOrderResult`` — a
+    :class:`~repro.core.twolevel.TwoLevelModel` or the naive
+    :class:`~repro.core.twolevel.FlatPreferenceModel`.
+    """
+
+    def __init__(self, model, rtt_matrix: RttMatrix):
+        self.model = model
+        self.rtt_matrix = rtt_matrix
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict_catchment(self, client_id: int, config: AnycastConfig) -> Optional[int]:
+        """The client's predicted catchment site, or None when the
+        client has no usable total order."""
+        result = self.model.total_order(client_id, config.site_order)
+        return result.most_preferred(config.sites)
+
+    def predict_catchments(
+        self, config: AnycastConfig, targets: Iterable[PingTarget]
+    ) -> Dict[int, Optional[int]]:
+        return {
+            t.target_id: self.predict_catchment(t.target_id, config) for t in targets
+        }
+
+    def predict_rtt(self, client_id: int, config: AnycastConfig) -> Optional[float]:
+        site = self.predict_catchment(client_id, config)
+        if site is None:
+            return None
+        return self.rtt_matrix.values.get((site, client_id))
+
+    def predict_mean_rtt(self, config: AnycastConfig, targets: Iterable[PingTarget]) -> float:
+        """Predicted mean RTT over all predictable clients."""
+        rtts = [
+            r
+            for r in (self.predict_rtt(t.target_id, config) for t in targets)
+            if r is not None
+        ]
+        if not rtts:
+            raise ReproError("no client is predictable under this configuration")
+        return mean(rtts)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(
+        self,
+        config: AnycastConfig,
+        deployment: Deployment,
+        targets: Iterable[PingTarget],
+    ) -> PredictionReport:
+        """Compare predictions against a real (simulated) deployment.
+
+        Catchment accuracy is scored over clients with a prediction
+        and a measured catchment; the measured mean RTT includes
+        unpredictable clients too, exactly as the paper does (S4.2).
+        """
+        targets = list(targets)
+        measured_map = deployment.measure_catchments(targets)
+        n_predicted = 0
+        n_correct = 0
+        predicted_rtts: List[float] = []
+        measured_rtts: List[float] = []
+        for target in targets:
+            measured_site = measured_map.site_of(target.target_id)
+            measured_rtt = deployment.measure_rtt(target)
+            if measured_rtt is not None:
+                measured_rtts.append(measured_rtt)
+            predicted_site = self.predict_catchment(target.target_id, config)
+            if predicted_site is None:
+                continue
+            predicted_rtt = self.rtt_matrix.values.get((predicted_site, target.target_id))
+            if predicted_rtt is not None:
+                predicted_rtts.append(predicted_rtt)
+            if measured_site is None:
+                continue
+            n_predicted += 1
+            if predicted_site == measured_site:
+                n_correct += 1
+        if not predicted_rtts or not measured_rtts:
+            raise ReproError("configuration produced no comparable RTTs")
+        return PredictionReport(
+            config=config,
+            n_targets=len(targets),
+            n_predicted=n_predicted,
+            n_correct=n_correct,
+            predicted_mean_rtt=mean(predicted_rtts),
+            measured_mean_rtt=mean(measured_rtts),
+        )

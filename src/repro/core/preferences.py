@@ -1,0 +1,182 @@
+"""Pairwise preferences and total-order construction.
+
+The heart of the paper: each pairwise experiment (run twice, with the
+announcement order reversed) classifies a client network's preference
+between two sites as *strict* (same winner both times), *order
+dependent* (the first-announced site won both times — the
+arrival-order tie-break decided), or *inconsistent* (the later-announced
+site won, which only multipath ECMP rehashing can explain).  Strict and
+order-dependent preferences are usable for prediction; inconsistent
+ones are not (S4.2).
+
+A client's usable pairwise preferences form a tournament; the client
+has a *total order* exactly when that tournament is transitive, in
+which case its catchment under any enabled subset is its most preferred
+enabled site (Theorems A.1/A.2).
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.util.errors import ReproError
+
+
+class PreferenceOutcome(enum.Enum):
+    """Classification of one client's preference between two sites."""
+
+    STRICT_A = "strict_a"
+    STRICT_B = "strict_b"
+    ORDER_DEPENDENT = "order_dependent"
+    INCONSISTENT = "inconsistent"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class PairObservation:
+    """The measured winners of one pairwise experiment for one client.
+
+    ``winner_a_first`` is the client's catchment when ``site_a`` was
+    announced before ``site_b``; ``winner_b_first`` when the order was
+    reversed.  None means the client was unmapped in that run.
+    """
+
+    site_a: int
+    site_b: int
+    winner_a_first: Optional[int]
+    winner_b_first: Optional[int]
+
+    def __post_init__(self):
+        if self.site_a == self.site_b:
+            raise ReproError("pairwise observation needs two distinct sites")
+        for winner in (self.winner_a_first, self.winner_b_first):
+            if winner is not None and winner not in (self.site_a, self.site_b):
+                raise ReproError(
+                    f"winner {winner} is neither {self.site_a} nor {self.site_b}"
+                )
+
+    def outcome(self) -> PreferenceOutcome:
+        a, b = self.site_a, self.site_b
+        w1, w2 = self.winner_a_first, self.winner_b_first
+        if w1 is None or w2 is None:
+            return PreferenceOutcome.UNKNOWN
+        if w1 == w2:
+            return PreferenceOutcome.STRICT_A if w1 == a else PreferenceOutcome.STRICT_B
+        if w1 == a and w2 == b:
+            # Whichever was announced first won: an arrival-order tie.
+            return PreferenceOutcome.ORDER_DEPENDENT
+        return PreferenceOutcome.INCONSISTENT
+
+    def winner_given(self, first_announced: int) -> Optional[int]:
+        """The predicted winner when ``first_announced`` is announced
+        before the other site; None when unpredictable."""
+        if first_announced not in (self.site_a, self.site_b):
+            raise ReproError(
+                f"site {first_announced} not part of pair "
+                f"({self.site_a}, {self.site_b})"
+            )
+        outcome = self.outcome()
+        if outcome is PreferenceOutcome.STRICT_A:
+            return self.site_a
+        if outcome is PreferenceOutcome.STRICT_B:
+            return self.site_b
+        if outcome is PreferenceOutcome.ORDER_DEPENDENT:
+            return first_announced
+        return None
+
+
+class PreferenceMatrix:
+    """All pairwise observations, per client.
+
+    Keys are target (client) ids; each client maps site pairs to a
+    :class:`PairObservation`.
+    """
+
+    def __init__(self):
+        self._data: Dict[int, Dict[FrozenSet[int], PairObservation]] = {}
+        self._pairs: set = set()
+
+    def record(self, client_id: int, obs: PairObservation) -> None:
+        key = frozenset((obs.site_a, obs.site_b))
+        self._data.setdefault(client_id, {})[key] = obs
+        self._pairs.add(key)
+
+    def clients(self) -> List[int]:
+        return sorted(self._data)
+
+    def pairs(self) -> List[FrozenSet[int]]:
+        return sorted(self._pairs, key=sorted)
+
+    def observation(self, client_id: int, site_a: int, site_b: int) -> Optional[PairObservation]:
+        return self._data.get(client_id, {}).get(frozenset((site_a, site_b)))
+
+    def winner(self, client_id: int, site_a: int, site_b: int, first_announced: int) -> Optional[int]:
+        """Predicted pairwise winner for a client under a given
+        announcement order; None if unmeasured or unpredictable."""
+        obs = self.observation(client_id, site_a, site_b)
+        if obs is None:
+            return None
+        return obs.winner_given(first_announced)
+
+
+@dataclass(frozen=True)
+class TotalOrderResult:
+    """Outcome of total-order construction for one client."""
+
+    client_id: int
+    order: Optional[Tuple[int, ...]]
+    reason: str = ""
+
+    @property
+    def has_total_order(self) -> bool:
+        return self.order is not None
+
+    def most_preferred(self, enabled: Iterable[int]) -> Optional[int]:
+        """The client's predicted catchment among ``enabled`` sites."""
+        if self.order is None:
+            return None
+        enabled = set(enabled)
+        for site in self.order:
+            if site in enabled:
+                return site
+        return None
+
+
+def build_total_order(
+    matrix: PreferenceMatrix,
+    client_id: int,
+    items: Sequence[int],
+    announce_order: Sequence[int],
+) -> TotalOrderResult:
+    """Construct a client's total order over ``items`` for a given
+    announcement order.
+
+    Effective pairwise winners are looked up with the first-announced
+    site of each pair taken from ``announce_order``; a transitive
+    tournament yields the total order, anything else yields none.
+    """
+    items = list(items)
+    if len(items) < 2:
+        return TotalOrderResult(client_id, tuple(items))
+    position = {site: idx for idx, site in enumerate(announce_order)}
+    missing = [s for s in items if s not in position]
+    if missing:
+        raise ReproError(f"items {missing} absent from announcement order")
+
+    wins: Dict[int, int] = {s: 0 for s in items}
+    for i, a in enumerate(items):
+        for b in items[i + 1:]:
+            first = a if position[a] < position[b] else b
+            winner = matrix.winner(client_id, a, b, first)
+            if winner is None:
+                obs = matrix.observation(client_id, a, b)
+                reason = "unmeasured pair" if obs is None else obs.outcome().value
+                return TotalOrderResult(client_id, None, reason=f"{reason}: ({a}, {b})")
+            wins[winner] += 1
+
+    ordered = sorted(items, key=lambda s: -wins[s])
+    # A tournament is transitive iff its win counts are a permutation
+    # of {0, 1, ..., n-1}.
+    if sorted(wins.values()) != list(range(len(items))):
+        return TotalOrderResult(client_id, None, reason="cyclic preferences")
+    return TotalOrderResult(client_id, tuple(ordered))

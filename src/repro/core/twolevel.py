@@ -1,0 +1,196 @@
+"""Two-level (provider-level + site-level) preference discovery.
+
+The paper's scaling technique (S4.3): BGP decides which *provider AS* a
+client's traffic enters, and the provider's interior routing decides
+which *site* inside it the traffic reaches.  Discovery therefore splits
+into O(|I|^2) ordered pairwise experiments between provider
+representative sites, plus per-provider site-level experiments — or,
+for large networks, the RTT heuristic that ranks a provider's sites by
+their measured unicast RTT to the client.
+
+A :class:`FlatPreferenceModel` over all-sites pairwise sweeps is kept
+as the naive comparator used by Figure 4c.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.experiments import ExperimentRunner
+from repro.core.preferences import (
+    PairObservation,
+    PreferenceMatrix,
+    TotalOrderResult,
+    build_total_order,
+)
+from repro.measurement.rtt import RttMatrix
+from repro.topology.testbed import Testbed
+from repro.util.errors import ConfigurationError, ReproError
+
+
+class SiteLevelMode(enum.Enum):
+    """How intra-provider site preferences are obtained."""
+
+    PAIRWISE = "pairwise"
+    RTT_HEURISTIC = "rtt"
+
+
+@dataclass
+class TwoLevelModel:
+    """Discovered preferences, queryable per client and configuration."""
+
+    testbed: Testbed
+    provider_matrix: PreferenceMatrix
+    site_matrices: Dict[int, PreferenceMatrix]
+    rtt_matrix: Optional[RttMatrix]
+    site_level_mode: SiteLevelMode
+
+    def providers(self) -> List[int]:
+        return self.testbed.provider_asns()
+
+    # -- per-client orders ----------------------------------------------------
+
+    def provider_order(
+        self,
+        client_id: int,
+        providers: Sequence[int],
+        provider_announce_order: Sequence[int],
+    ) -> TotalOrderResult:
+        """The client's total order over provider ASes, if any."""
+        return build_total_order(
+            self.provider_matrix, client_id, providers, provider_announce_order
+        )
+
+    def site_ranking_within(
+        self, client_id: int, provider_asn: int, sites: Sequence[int]
+    ) -> Optional[Tuple[int, ...]]:
+        """The client's preference order among a provider's sites.
+
+        Site-level preferences are announcement-order-insensitive
+        (S4.2), so any announcement order works for the lookup.
+        """
+        sites = list(sites)
+        if len(sites) <= 1:
+            return tuple(sites)
+        if self.site_level_mode is SiteLevelMode.PAIRWISE:
+            result = build_total_order(
+                self.site_matrices[provider_asn], client_id, sites, sorted(sites)
+            )
+            return result.order
+        if self.rtt_matrix is None:
+            raise ReproError("RTT heuristic requires an RTT matrix")
+        keyed = []
+        for site in sites:
+            rtt = self.rtt_matrix.values.get((site, client_id))
+            if rtt is None:
+                return None
+            keyed.append((rtt, site))
+        return tuple(site for _, site in sorted(keyed))
+
+    def total_order(self, client_id: int, site_order: Sequence[int]) -> TotalOrderResult:
+        """The client's total order over the sites in ``site_order``
+        (interpreted as the announcement order), built the paper's way:
+        rank providers first, then sites within each provider (S5.1).
+        """
+        if not site_order:
+            raise ConfigurationError("empty announcement order")
+        provider_position: Dict[int, int] = {}
+        provider_sites: Dict[int, List[int]] = {}
+        for idx, site in enumerate(site_order):
+            provider = self.testbed.provider_of(site)
+            provider_position.setdefault(provider, idx)
+            provider_sites.setdefault(provider, []).append(site)
+        providers = sorted(provider_position, key=provider_position.get)
+        if len(providers) == 1:
+            ranking = self.site_ranking_within(client_id, providers[0], provider_sites[providers[0]])
+            if ranking is None:
+                return TotalOrderResult(client_id, None, reason="no intra-AS order")
+            return TotalOrderResult(client_id, ranking)
+
+        provider_result = self.provider_order(client_id, providers, providers)
+        if not provider_result.has_total_order:
+            return TotalOrderResult(client_id, None, reason=provider_result.reason)
+        order: List[int] = []
+        for provider in provider_result.order:
+            ranking = self.site_ranking_within(client_id, provider, provider_sites[provider])
+            if ranking is None:
+                return TotalOrderResult(
+                    client_id, None, reason=f"no intra-AS order in {provider}"
+                )
+            order.extend(ranking)
+        return TotalOrderResult(client_id, tuple(order))
+
+
+@dataclass
+class FlatPreferenceModel:
+    """Naive model: one pairwise sweep across *all* site pairs.
+
+    Needs O(|S|^2) experiments and, without order modeling, loses most
+    clients to cyclic preferences as the site count grows (Figure 4c).
+    """
+
+    matrix: PreferenceMatrix
+
+    def total_order(self, client_id: int, site_order: Sequence[int]) -> TotalOrderResult:
+        return build_total_order(self.matrix, client_id, site_order, site_order)
+
+
+def discover_two_level(
+    runner: ExperimentRunner,
+    rtt_matrix: Optional[RttMatrix] = None,
+    site_level_mode: SiteLevelMode = SiteLevelMode.PAIRWISE,
+    ordered: bool = True,
+    providers: Optional[Sequence[int]] = None,
+) -> TwoLevelModel:
+    """Run the two-level discovery experiments of S4.3.
+
+    ``ordered=False`` runs the provider-level experiments with
+    simultaneous announcements (the naive baseline of Figure 4b).
+    ``providers`` restricts discovery to a subset of transit providers
+    (used to emulate smaller anycast networks).
+    """
+    testbed = runner.orchestrator.testbed
+    provider_list = list(providers) if providers is not None else testbed.provider_asns()
+
+    # Provider-level: one representative site per provider; record
+    # observations in provider-ASN space.
+    provider_matrix = PreferenceMatrix()
+    reps = {p: testbed.representative_site(p) for p in provider_list}
+    site_to_provider = {s: p for p, s in reps.items()}
+    for i, pa in enumerate(provider_list):
+        for pb in provider_list[i + 1:]:
+            result = (
+                runner.run_pairwise(reps[pa], reps[pb])
+                if ordered
+                else runner.run_pairwise_simultaneous(reps[pa], reps[pb])
+            )
+            for target in runner.orchestrator.targets:
+                obs = result.observation(target.target_id)
+                provider_matrix.record(
+                    target.target_id,
+                    PairObservation(
+                        site_a=pa,
+                        site_b=pb,
+                        winner_a_first=site_to_provider.get(obs.winner_a_first),
+                        winner_b_first=site_to_provider.get(obs.winner_b_first),
+                    ),
+                )
+
+    # Site-level: pairwise inside each provider, or nothing for the
+    # RTT heuristic.
+    site_matrices: Dict[int, PreferenceMatrix] = {}
+    if site_level_mode is SiteLevelMode.PAIRWISE:
+        for provider in provider_list:
+            sites = testbed.sites_of_provider(provider)
+            site_matrices[provider] = runner.pairwise_sweep(sites, ordered=True) \
+                if len(sites) > 1 else PreferenceMatrix()
+    elif rtt_matrix is None:
+        raise ReproError("the RTT heuristic needs a measured RTT matrix")
+
+    return TwoLevelModel(
+        testbed=testbed,
+        provider_matrix=provider_matrix,
+        site_matrices=site_matrices,
+        rtt_matrix=rtt_matrix,
+        site_level_mode=site_level_mode,
+    )

@@ -1,0 +1,34 @@
+"""Serialization of topologies, testbeds, and measurement artifacts.
+
+JSON round-tripping for the expensive artifacts so a measurement
+campaign can be split across processes (and so the CLI can chain
+``discover`` -> ``optimize`` -> ``evaluate`` runs):
+
+- :func:`save_testbed` / :func:`load_testbed` — the full synthetic
+  Internet plus sites and peering links;
+- :func:`save_model` / :func:`load_model` — a discovered
+  :class:`~repro.core.anyopt.AnyOptModel` (RTT matrix + preference
+  matrices).
+"""
+
+from repro.io.serialization import (
+    load_model,
+    load_testbed,
+    save_model,
+    save_testbed,
+    testbed_to_dict,
+    testbed_from_dict,
+    model_to_dict,
+    model_from_dict,
+)
+
+__all__ = [
+    "load_model",
+    "load_testbed",
+    "model_from_dict",
+    "model_to_dict",
+    "save_model",
+    "save_testbed",
+    "testbed_from_dict",
+    "testbed_to_dict",
+]

@@ -1,0 +1,268 @@
+"""The measurement orchestrator: deploys configurations and measures.
+
+This is the simulated counterpart of the paper's GoBGP box (S3.1): it
+turns an :class:`~repro.core.config.AnycastConfig` into BGP injections,
+runs them to convergence, and offers catchment and RTT measurements
+over the resulting data plane.  Every deployment is one "BGP
+experiment" — the unit the paper's measurement budget counts (S4.5) —
+and the orchestrator keeps a running tally.
+"""
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.util.rng import derive_rng, stable_hash
+
+from repro.bgp.dataplane import DataPlane, ForwardingOutcome
+from repro.bgp.engine import BGPEngine, ConvergedState, SiteInjection
+from repro.core.config import AnycastConfig
+from repro.measurement.icmp import IcmpProber
+from repro.measurement.rtt import RttMatrix, estimate_rtt
+from repro.measurement.targets import PingTarget, TargetSet
+from repro.measurement.tunnels import TunnelManager
+from repro.measurement.verfploeter import CatchmentMap, measure_catchments
+from repro.topology.astopo import Relationship
+from repro.topology.testbed import Testbed
+from repro.util.errors import ConfigurationError, MeasurementError
+from repro.util.stats import mean
+
+
+class Deployment:
+    """One deployed configuration: converged control plane + data plane."""
+
+    def __init__(
+        self,
+        orchestrator: "Orchestrator",
+        config: AnycastConfig,
+        converged: ConvergedState,
+        experiment_id: int,
+    ):
+        self.orchestrator = orchestrator
+        self.config = config
+        self.converged = converged
+        self.experiment_id = experiment_id
+        self.dataplane = DataPlane(
+            orchestrator.testbed.internet, converged, flow_nonce=experiment_id
+        )
+        self._forwarding_cache: Dict[int, Optional[ForwardingOutcome]] = {}
+
+    # -- data plane ---------------------------------------------------------
+
+    def forwarding(self, target: PingTarget) -> Optional[ForwardingOutcome]:
+        """Where this target's anycast traffic lands (cached)."""
+        cached = self._forwarding_cache.get(target.target_id, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        outcome = self.dataplane.forward(target.asn, target.target_id)
+        self._forwarding_cache[target.target_id] = outcome
+        return outcome
+
+    def true_rtt(self, target: PingTarget) -> Optional[float]:
+        """Ground-truth RTT between the target and its catchment site.
+
+        Includes the orchestrator's per-experiment path-RTT drift:
+        real paths change slightly between the time a site's unicast
+        RTT was measured and the time a configuration is deployed,
+        which is the noise floor behind Figure 5b/5c.
+        """
+        outcome = self.forwarding(target)
+        if outcome is None:
+            return None
+        drift = self.orchestrator.rtt_drift_factor(self.experiment_id, target.target_id)
+        return outcome.rtt_ms * drift + target.last_mile_rtt_ms
+
+    # -- measurements ---------------------------------------------------------
+
+    def measure_catchments(self, targets: Optional[Iterable[PingTarget]] = None) -> CatchmentMap:
+        """Verfploeter-style catchment map of this deployment."""
+        targets = self.orchestrator.targets if targets is None else targets
+        return measure_catchments(self, targets, self.orchestrator.prober)
+
+    def measure_rtt(self, target: PingTarget) -> Optional[float]:
+        """Median-of-seven RTT estimate to the target's catchment site."""
+        outcome = self.forwarding(target)
+        if outcome is None:
+            return None
+        return estimate_rtt(
+            self.orchestrator.prober,
+            self.orchestrator.tunnels,
+            target,
+            outcome.site_id,
+            self.true_rtt(target),
+            self.experiment_id,
+        )
+
+    def measure_mean_rtt(self, targets: Optional[Iterable[PingTarget]] = None) -> float:
+        """Mean measured RTT over all reachable targets — the paper's
+        per-configuration performance figure (S5.2/S5.3)."""
+        targets = self.orchestrator.targets if targets is None else targets
+        rtts = [r for r in (self.measure_rtt(t) for t in targets) if r is not None]
+        if not rtts:
+            raise MeasurementError(
+                f"experiment {self.experiment_id}: no target reached any site"
+            )
+        return mean(rtts)
+
+
+_MISSING = object()
+
+
+class Orchestrator:
+    """Deploys anycast configurations on the simulated Internet.
+
+    Attributes:
+        session_churn_prob: per-experiment probability that an AS's
+            interior-routing state changed since the topology was
+            built; churned ASes get fresh session costs for that run.
+            This is the measurement-to-deployment drift that keeps
+            real catchment prediction below 100% accurate.
+        rtt_drift_sigma: relative standard deviation of per-experiment
+            path-RTT drift.
+    """
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        targets: TargetSet,
+        seed=0,
+        session_churn_prob: float = 0.02,
+        rtt_drift_sigma: float = 0.04,
+        rtt_bias_sigma: float = 0.03,
+        bgp_delay_jitter_ms: float = 20.0,
+    ):
+        if not 0.0 <= session_churn_prob <= 1.0:
+            raise ConfigurationError("session_churn_prob must be in [0, 1]")
+        if rtt_drift_sigma < 0 or rtt_bias_sigma < 0:
+            raise ConfigurationError("RTT drift sigmas must be non-negative")
+        self.testbed = testbed
+        self.targets = targets
+        self.seed = seed
+        self.session_churn_prob = session_churn_prob
+        self.rtt_drift_sigma = rtt_drift_sigma
+        self.rtt_bias_sigma = rtt_bias_sigma
+        self.bgp_delay_jitter_ms = bgp_delay_jitter_ms
+        self.engine = BGPEngine(testbed.internet)
+        self.prober = IcmpProber(seed=seed)
+        self.tunnels = TunnelManager(testbed, seed=seed)
+        self.experiment_count = 0
+
+    # -- deployment -----------------------------------------------------------
+
+    def deploy(self, config: AnycastConfig) -> Deployment:
+        """Announce ``config`` and converge; counts as one BGP experiment."""
+        self.experiment_count += 1
+        converged = self.engine.run(
+            self._injections(config),
+            igp_overlay=self._igp_overlay(self.experiment_count),
+            delay_jitter_ms=self.bgp_delay_jitter_ms,
+            delay_nonce=self.experiment_count,
+        )
+        return Deployment(self, config, converged, self.experiment_count)
+
+    # -- drift models -----------------------------------------------------------
+
+    def _igp_overlay(self, experiment_id: int) -> Dict[Tuple[int, int], int]:
+        """Interior-cost overrides for one experiment's churned ASes."""
+        if self.session_churn_prob == 0.0:
+            return {}
+        rng = derive_rng(self.seed, "igp-churn", experiment_id)
+        graph = self.testbed.internet.graph
+        tie_fraction = self.testbed.internet.params.igp_tie_fraction
+        overlay: Dict[Tuple[int, int], int] = {}
+        for asn in graph.asns():
+            if rng.random() >= self.session_churn_prob:
+                continue
+            tie_prone = rng.random() < tie_fraction
+            for neighbor in graph.neighbors(asn):
+                if tie_prone:
+                    overlay[(asn, neighbor)] = 0
+                else:
+                    overlay[(asn, neighbor)] = 1 + stable_hash(
+                        self.seed, "igp-churn", experiment_id, asn, neighbor
+                    ) % 1_000_000
+        return overlay
+
+    def rtt_drift_factor(self, experiment_id: int, target_id: int) -> float:
+        """Multiplicative path-RTT drift for one target in one
+        experiment.
+
+        Combines a per-experiment epoch bias (path changes between the
+        singleton RTT campaign and a later deployment shift whole
+        configurations, not just single targets) with per-target
+        noise; bounded away from zero to stay physical.
+        """
+        if self.rtt_drift_sigma == 0.0 and self.rtt_bias_sigma == 0.0:
+            return 1.0
+        bias_rng = derive_rng(self.seed, "rtt-bias", experiment_id)
+        rng = derive_rng(self.seed, "rtt-drift", experiment_id, target_id)
+        factor = (1.0 + bias_rng.gauss(0.0, self.rtt_bias_sigma)) * (
+            1.0 + rng.gauss(0.0, self.rtt_drift_sigma)
+        )
+        return max(0.7, factor)
+
+    def _injections(self, config: AnycastConfig) -> List[SiteInjection]:
+        spacing = (
+            self.testbed.params.announcement_spacing_ms
+            if config.spacing_ms is None
+            else config.spacing_ms
+        )
+        injections: List[SiteInjection] = []
+        for idx, site_id in enumerate(config.site_order):
+            site = self.testbed.site(site_id)
+            injections.append(
+                SiteInjection(
+                    host_asn=site.provider_asn,
+                    site_id=site_id,
+                    pop_id=site.attach_pop,
+                    link_rtt_ms=site.access_rtt_ms,
+                    rel_from_host=Relationship.CUSTOMER,
+                    announce_time_ms=idx * spacing,
+                    prepend=config.prepend_of(site_id),
+                )
+            )
+        peer_start = len(config.site_order) * spacing
+        for jdx, peer_id in enumerate(config.peer_ids):
+            link = self.testbed.peer_link(peer_id)
+            if link.peer_asn not in self.testbed.internet.graph:
+                raise ConfigurationError(
+                    f"peer link {peer_id} references unknown AS {link.peer_asn}"
+                )
+            injections.append(
+                SiteInjection(
+                    host_asn=link.peer_asn,
+                    site_id=link.site_id,
+                    pop_id=None,
+                    link_rtt_ms=link.link_rtt_ms,
+                    rel_from_host=Relationship.PEER,
+                    announce_time_ms=peer_start + jdx * spacing,
+                )
+            )
+        return injections
+
+    # -- bulk measurements ------------------------------------------------------
+
+    def measure_rtt_matrix(self, site_ids: Optional[Iterable[int]] = None) -> RttMatrix:
+        """Run one singleton experiment per site and estimate the RTT
+        from that site to every target (paper S3.4: ``O(|S|)``
+        singleton experiments)."""
+        site_ids = self.testbed.site_ids() if site_ids is None else list(site_ids)
+        matrix = RttMatrix()
+        for site_id in site_ids:
+            deployment = self.deploy(AnycastConfig(site_order=(site_id,)))
+            for target in self.targets:
+                true_rtt = deployment.true_rtt(target)
+                if true_rtt is None:
+                    matrix.set(site_id, target.target_id, None)
+                    continue
+                matrix.set(
+                    site_id,
+                    target.target_id,
+                    estimate_rtt(
+                        self.prober,
+                        self.tunnels,
+                        target,
+                        site_id,
+                        true_rtt,
+                        deployment.experiment_id,
+                    ),
+                )
+        return matrix

@@ -1,0 +1,74 @@
+"""GRE tunnels between the orchestrator and the anycast sites.
+
+The testbed's single GoBGP orchestrator reaches every site router over
+a GRE tunnel (S3.1).  Measured orchestrator-to-target RTTs include the
+tunnel RTT of the reply's catchment site, which the estimator subtracts
+(S3, "Measuring RTTs"); the quality of that subtraction depends on the
+periodically re-measured tunnel RTT estimate, so the tunnel model keeps
+a true value and a noisy estimate separately.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.topology.geo import GeoPoint, propagation_rtt_ms
+from repro.topology.testbed import Testbed
+from repro.util.errors import MeasurementError
+from repro.util.rng import derive_rng
+from repro.util.stats import median
+
+
+@dataclass(frozen=True)
+class GreTunnel:
+    """One orchestrator-to-site tunnel."""
+
+    site_id: int
+    true_rtt_ms: float
+    estimated_rtt_ms: float
+
+
+class TunnelManager:
+    """Builds and periodically re-estimates the site tunnels."""
+
+    #: Encapsulation and processing overhead added to the propagation RTT.
+    OVERHEAD_MS = 1.2
+    #: Number of samples in each periodic tunnel measurement.
+    SAMPLES = 9
+
+    def __init__(self, testbed: Testbed, seed=0):
+        self.testbed = testbed
+        self.seed = seed
+        self._tunnels: Dict[int, GreTunnel] = {}
+        for site_id in testbed.site_ids():
+            site = testbed.site(site_id)
+            true_rtt = (
+                propagation_rtt_ms(testbed.orchestrator_location, site.location)
+                + self.OVERHEAD_MS
+            )
+            self._tunnels[site_id] = GreTunnel(
+                site_id=site_id,
+                true_rtt_ms=true_rtt,
+                estimated_rtt_ms=self._estimate(site_id, true_rtt, epoch=0),
+            )
+
+    def tunnel(self, site_id: int) -> GreTunnel:
+        try:
+            return self._tunnels[site_id]
+        except KeyError:
+            raise MeasurementError(f"no tunnel to site {site_id}") from None
+
+    def refresh(self, epoch: int) -> None:
+        """Re-measure every tunnel (the paper does this periodically)."""
+        for site_id, tun in list(self._tunnels.items()):
+            self._tunnels[site_id] = GreTunnel(
+                site_id=site_id,
+                true_rtt_ms=tun.true_rtt_ms,
+                estimated_rtt_ms=self._estimate(site_id, tun.true_rtt_ms, epoch),
+            )
+
+    def _estimate(self, site_id: int, true_rtt: float, epoch: int) -> float:
+        rng = derive_rng(self.seed, "tunnel", site_id, epoch)
+        samples = [
+            true_rtt + abs(rng.gauss(0.0, 0.4)) for _ in range(self.SAMPLES)
+        ]
+        return median(samples)

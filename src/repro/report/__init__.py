@@ -1,0 +1,24 @@
+"""Plain-text reporting: aligned tables and ASCII charts.
+
+Used by the CLI and the examples to render measurement results without
+any plotting dependency:
+
+- :func:`render_table` — aligned columns with optional float formats;
+- :func:`render_cdf` — an ASCII CDF plot of a sample;
+- :func:`render_histogram` — a horizontal bar histogram;
+- :func:`render_catchment_bars` — per-site catchment share bars.
+"""
+
+from repro.report.text import (
+    render_catchment_bars,
+    render_cdf,
+    render_histogram,
+    render_table,
+)
+
+__all__ = [
+    "render_catchment_bars",
+    "render_cdf",
+    "render_histogram",
+    "render_table",
+]

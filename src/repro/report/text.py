@@ -1,0 +1,139 @@
+"""ASCII rendering of tables, CDFs, histograms, and catchment shares."""
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.util.errors import ReproError
+from repro.util.stats import cdf_points, percentile
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render rows as an aligned text table.
+
+    >>> print(render_table(["site", "rtt"], [[1, 43.25], [2, 76.0]]))
+    site  rtt
+    ----  ----
+    1     43.2
+    2     76.0
+    """
+    if not headers:
+        raise ReproError("a table needs at least one column")
+    rendered: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row {row!r} has {len(row)} cells; expected {len(headers)}"
+            )
+        rendered.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_cdf(
+    values: Sequence[float],
+    width: int = 50,
+    height: int = 12,
+    label: str = "value",
+) -> str:
+    """Render a sample's CDF as an ASCII plot.
+
+    The x-axis spans the sample's range; each row of the plot is a
+    cumulative-fraction level, marked where the CDF crosses it.
+    """
+    if width < 10 or height < 4:
+        raise ReproError("CDF plot needs width >= 10 and height >= 4")
+    xs, fs = cdf_points(values)
+    lo, hi = xs[0], xs[-1]
+    span = hi - lo or 1.0
+    lines: List[str] = []
+    for level_idx in range(height, 0, -1):
+        level = level_idx / height
+        # First x at which the CDF reaches this level.
+        col = None
+        for x, f in zip(xs, fs):
+            if f >= level:
+                col = int((x - lo) / span * (width - 1))
+                break
+        row = [" "] * width
+        if col is not None:
+            for c in range(col, width):
+                row[c] = "#" if c == col else "#"
+        lines.append(f"{level:4.2f} |" + "".join(row))
+    axis = f"     +{'-' * width}"
+    p50 = percentile(values, 50)
+    footer = (
+        f"      {label}: min {lo:.1f}  median {p50:.1f}  max {hi:.1f}  "
+        f"(n={len(xs)})"
+    )
+    return "\n".join(lines + [axis, footer])
+
+
+def render_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render a horizontal-bar histogram of a sample."""
+    values = list(values)
+    if not values:
+        raise ReproError("histogram of empty sample")
+    if bins < 1:
+        raise ReproError("need at least one bin")
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    counts = [0] * bins
+    for v in values:
+        idx = min(bins - 1, int((v - lo) / span * bins))
+        counts[idx] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        left = lo + span * i / bins
+        right = lo + span * (i + 1) / bins
+        bar = "#" * (int(count / peak * width) if peak else 0)
+        lines.append(
+            f"[{float_format.format(left):>8}, {float_format.format(right):>8})"
+            f" {bar} {count}"
+        )
+    return "\n".join(lines)
+
+
+def render_catchment_bars(
+    catchment_sizes: Dict[int, int],
+    total: Optional[int] = None,
+    width: int = 40,
+) -> str:
+    """Render each site's catchment share as a horizontal bar, e.g.
+    ``site 4  ############  165 ( 33.1%)``."""
+    if not catchment_sizes:
+        raise ReproError("no catchments to render")
+    denominator = total if total is not None else sum(catchment_sizes.values())
+    if denominator <= 0:
+        raise ReproError("catchment total must be positive")
+    lines = []
+    for site in sorted(catchment_sizes):
+        count = catchment_sizes[site]
+        frac = count / denominator
+        bar = "#" * max(1 if count else 0, int(frac * width))
+        lines.append(
+            f"site {site:<2} {bar:<{width // 2 * 2}} {count:>4} ({100 * frac:5.1f}%)"
+        )
+    return "\n".join(lines)

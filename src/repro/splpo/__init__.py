@@ -1,0 +1,29 @@
+"""Simple Plant Location Problem with Preference Orderings (SPLPO).
+
+The paper maps anycast configuration search onto SPLPO (S3.4, Appendix
+B): facilities are anycast sites, clients are target networks with a
+total preference order over sites, costs are RTTs, and a client is
+always served by its most preferred *open* facility — not its cheapest.
+The problem (and even approximating its optimum) is NP-hard
+(Theorem B.1), so this package offers exact enumeration for small
+instances and greedy / local-search / annealing heuristics for larger
+ones.
+"""
+
+from repro.splpo.model import Client, SolveResult, SPLPOInstance
+from repro.splpo.exhaustive import solve_exhaustive
+from repro.splpo.greedy import solve_greedy
+from repro.splpo.local_search import solve_local_search
+from repro.splpo.annealing import solve_annealing
+from repro.splpo.reduction import dominating_set_to_splpo
+
+__all__ = [
+    "Client",
+    "SPLPOInstance",
+    "SolveResult",
+    "dominating_set_to_splpo",
+    "solve_annealing",
+    "solve_exhaustive",
+    "solve_greedy",
+    "solve_local_search",
+]

@@ -1,0 +1,72 @@
+"""Simulated annealing for large SPLPO instances.
+
+Used when enumeration and deterministic local search are too slow —
+e.g. a few hundred sites, the scale of the paper's Akamai DNS analysis
+(S4.5).  Fully deterministic given a seed.
+"""
+
+import math
+from typing import Iterable, Optional
+
+from repro.splpo.model import SolveResult, SPLPOInstance
+from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng
+
+
+def solve_annealing(
+    instance: SPLPOInstance,
+    seed=0,
+    steps: int = 5000,
+    start_temperature: float = 50.0,
+    cooling: float = 0.995,
+    start: Optional[Iterable[int]] = None,
+    unserved_penalty: float = math.inf,
+) -> SolveResult:
+    """Anneal over facility subsets with flip moves.
+
+    A move toggles one facility (keeping at least one open).  Worse
+    moves are accepted with probability ``exp(-delta / T)``.
+    """
+    if steps < 1:
+        raise ConfigurationError("steps must be positive")
+    if not 0.0 < cooling < 1.0:
+        raise ConfigurationError("cooling must be in (0, 1)")
+    rng = make_rng((seed, "splpo-annealing"))
+    facilities = list(instance.facilities)
+    if start is None:
+        current = {f for f in facilities if rng.random() < 0.5} or {facilities[0]}
+    else:
+        current = set(start)
+        if not current:
+            raise ConfigurationError("start set must be non-empty")
+
+    current_cost = instance.fast_cost(current, unserved_penalty)
+    best = frozenset(current)
+    best_cost = current_cost
+    evaluations = 1
+    temperature = start_temperature
+    for _ in range(steps):
+        f = rng.choice(facilities)
+        if f in current and len(current) == 1:
+            continue
+        candidate = set(current)
+        if f in candidate:
+            candidate.remove(f)
+        else:
+            candidate.add(f)
+        cost = instance.fast_cost(candidate, unserved_penalty)
+        evaluations += 1
+        delta = cost - current_cost
+        accept = delta < 0 or (
+            not math.isinf(cost)
+            and temperature > 1e-9
+            and rng.random() < math.exp(-delta / temperature)
+        )
+        if accept:
+            current = candidate
+            current_cost = cost
+            if cost < best_cost:
+                best = frozenset(candidate)
+                best_cost = cost
+        temperature *= cooling
+    return SolveResult(best, best_cost, evaluations, solver="annealing")

@@ -1,0 +1,74 @@
+"""The Dominating-Set-to-SPLPO reduction of Theorem B.1.
+
+Given a graph ``G`` and budget ``K``, the reduction builds an SPLPO
+instance in which a zero-cost solution opening ``K + 1`` facilities
+exists iff ``G`` has a dominating set of size ``K``.  It both proves
+SPLPO NP-hard and gives the test suite a ground-truth oracle: solving
+the reduced instance solves dominating set.
+"""
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.splpo.model import Client, SPLPOInstance
+from repro.util.errors import ConfigurationError
+
+#: Stand-in for the reduction's "infinite" distance; any solution
+#: paying it is equivalent to an infeasible one.
+FAR_COST = 1.0e12
+
+#: Facility id of the far-away site ``s*`` with its private client.
+STAR_FACILITY = -1
+STAR_CLIENT = -1
+
+
+def dominating_set_to_splpo(
+    vertices: Sequence[Hashable],
+    edges: Iterable[Tuple[Hashable, Hashable]],
+) -> SPLPOInstance:
+    """Build the Theorem B.1 instance for graph ``(vertices, edges)``.
+
+    Every vertex ``v`` becomes a co-located client/facility pair with
+    distance zero; a far site ``s*`` with private client ``c*`` is
+    added.  Client ``c_v`` prefers ``s_v``, then its neighbors' sites,
+    then ``s*``, then everything else.  A zero-cost solution with
+    ``K + 1`` open facilities must open ``s*`` plus a dominating set.
+    """
+    verts = list(vertices)
+    if not verts:
+        raise ConfigurationError("dominating set reduction needs vertices")
+    index: Dict[Hashable, int] = {v: i for i, v in enumerate(verts)}
+    adjacency: Dict[int, List[int]] = {i: [] for i in range(len(verts))}
+    for a, b in edges:
+        if a not in index or b not in index:
+            raise ConfigurationError(f"edge ({a}, {b}) references unknown vertex")
+        if a == b:
+            continue
+        ia, ib = index[a], index[b]
+        if ib not in adjacency[ia]:
+            adjacency[ia].append(ib)
+            adjacency[ib].append(ia)
+
+    facilities = list(range(len(verts))) + [STAR_FACILITY]
+    clients: List[Client] = []
+    for i in range(len(verts)):
+        preference = [i] + sorted(adjacency[i]) + [STAR_FACILITY]
+        others = [j for j in range(len(verts)) if j != i and j not in adjacency[i]]
+        preference += others
+        costs = {j: FAR_COST for j in facilities}
+        costs[i] = 0.0
+        # Serving a client from a neighbor's site is also "at" the
+        # vertex for domination purposes: zero cost.
+        for j in adjacency[i]:
+            costs[j] = 0.0
+        costs[STAR_FACILITY] = FAR_COST
+        clients.append(Client(client_id=i, preference=tuple(preference), costs=costs))
+    star_costs = {j: FAR_COST for j in facilities}
+    star_costs[STAR_FACILITY] = 0.0
+    clients.append(
+        Client(
+            client_id=STAR_CLIENT,
+            preference=(STAR_FACILITY,) + tuple(range(len(verts))),
+            costs=star_costs,
+        )
+    )
+    return SPLPOInstance(facilities=facilities, clients=clients)

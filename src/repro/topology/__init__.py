@@ -1,0 +1,65 @@
+"""Topology substrate: AS-level graphs, geography, and PoP networks.
+
+The paper's experiments run over the real Internet; this package builds
+the synthetic equivalent:
+
+- :mod:`repro.topology.geo` — city catalog, great-circle distances, and
+  a distance-to-RTT latency model.
+- :mod:`repro.topology.astopo` — the AS-level graph with
+  customer/provider/peer business relationships (Gao-Rexford).
+- :mod:`repro.topology.intradomain` — PoP-level topologies for multi-PoP
+  (tier-1) ASes, with IGP shortest-path distances that drive intra-AS
+  (hot-potato) catchment selection.
+- :mod:`repro.topology.generator` — synthetic Internet-like topologies:
+  a tier-1 clique, a transit hierarchy, and multihomed stub ASes with a
+  geographic embedding.
+- :mod:`repro.topology.testbed` — the paper's 15-site / 6-provider
+  testbed (Table 1) wired onto a generated Internet.
+"""
+
+from repro.topology.astopo import AS, ASGraph, Link, Relationship
+from repro.topology.caida import (
+    load_as_relationships,
+    load_as_relationships_file,
+    parse_relationship_lines,
+)
+from repro.topology.custom import SiteSpec, build_custom_testbed
+from repro.topology.generator import TopologyParams, generate_internet
+from repro.topology.geo import (
+    CITIES,
+    GeoPoint,
+    city,
+    great_circle_km,
+    propagation_rtt_ms,
+)
+from repro.topology.intradomain import PopNetwork
+from repro.topology.testbed import (
+    PAPER_SITES,
+    Testbed,
+    TestbedParams,
+    build_paper_testbed,
+)
+
+__all__ = [
+    "AS",
+    "ASGraph",
+    "CITIES",
+    "GeoPoint",
+    "Link",
+    "PAPER_SITES",
+    "PopNetwork",
+    "Relationship",
+    "SiteSpec",
+    "Testbed",
+    "TestbedParams",
+    "TopologyParams",
+    "build_custom_testbed",
+    "build_paper_testbed",
+    "city",
+    "generate_internet",
+    "great_circle_km",
+    "load_as_relationships",
+    "load_as_relationships_file",
+    "parse_relationship_lines",
+    "propagation_rtt_ms",
+]

@@ -1,0 +1,146 @@
+"""Loading AS-relationship datasets (CAIDA serial-1 format).
+
+The paper's future work points at combining AnyOpt with inferred
+topologies.  This module ingests the standard AS-relationship format
+used by CAIDA's inference datasets::
+
+    # comment lines start with '#'
+    <provider-as>|<customer-as>|-1
+    <peer-as>|<peer-as>|0
+
+and builds an :class:`~repro.topology.astopo.ASGraph` with synthetic
+geography (real datasets carry no coordinates, so ASes are placed
+round-robin over the city catalog deterministically by ASN).  Tiers
+are inferred structurally: provider-free ASes are tier 1, customer-free
+ASes are tier 3 stubs, everything else tier 2.
+"""
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.topology.astopo import AS, ASGraph, Relationship
+from repro.topology.generator import Internet, TopologyParams
+from repro.topology.geo import CITIES, city, propagation_rtt_ms
+from repro.util.errors import TopologyError
+from repro.util.rng import derive_rng, stable_hash
+
+#: CAIDA relationship codes.
+PROVIDER_CUSTOMER = -1
+PEER_PEER = 0
+
+
+def parse_relationship_lines(lines: Iterable[str]) -> List[Tuple[int, int, int]]:
+    """Parse serial-1 lines into ``(as_a, as_b, code)`` triples.
+
+    Raises :class:`TopologyError` on malformed rows; comment lines and
+    blank lines are skipped.  Some dataset variants append extra
+    columns (e.g. the inference source); they are ignored.
+    """
+    out: List[Tuple[int, int, int]] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("|")
+        if len(parts) < 3:
+            raise TopologyError(f"line {lineno}: expected a|b|rel, got {line!r}")
+        try:
+            a, b, code = int(parts[0]), int(parts[1]), int(parts[2])
+        except ValueError:
+            raise TopologyError(f"line {lineno}: non-integer field in {line!r}") from None
+        if code not in (PROVIDER_CUSTOMER, PEER_PEER):
+            raise TopologyError(
+                f"line {lineno}: unknown relationship code {code} "
+                f"(expected {PROVIDER_CUSTOMER} or {PEER_PEER})"
+            )
+        if a == b:
+            raise TopologyError(f"line {lineno}: self relationship for AS {a}")
+        out.append((a, b, code))
+    return out
+
+
+def load_as_relationships(
+    lines: Iterable[str],
+    params: Optional[TopologyParams] = None,
+    seed=0,
+) -> Internet:
+    """Build an :class:`Internet` from serial-1 relationship lines.
+
+    The returned Internet has no PoP networks (every AS is single-PoP:
+    datasets carry no intra-AS structure), synthetic link latencies
+    from the placement geography, and the default behaviour-flag
+    distributions of ``params``.
+    """
+    params = params or TopologyParams()
+    triples = parse_relationship_lines(lines)
+    if not triples:
+        raise TopologyError("dataset contains no relationships")
+
+    asns: Set[int] = set()
+    providers_of: Dict[int, Set[int]] = {}
+    customers_of: Dict[int, Set[int]] = {}
+    for a, b, code in triples:
+        asns.update((a, b))
+        if code == PROVIDER_CUSTOMER:
+            providers_of.setdefault(b, set()).add(a)
+            customers_of.setdefault(a, set()).add(b)
+
+    graph = ASGraph()
+    city_names = sorted(CITIES)
+    for asn in sorted(asns):
+        has_provider = bool(providers_of.get(asn))
+        has_customer = bool(customers_of.get(asn))
+        if not has_provider:
+            tier = 1
+        elif not has_customer:
+            tier = 3
+        else:
+            tier = 2
+        location = city(city_names[stable_hash(seed, "caida-place", asn) % len(city_names)])
+        graph.add_as(AS(asn=asn, tier=tier, location=location, name=f"AS{asn}"))
+
+    rng_delay = derive_rng(seed, "caida-delays")
+    seen = set()
+    for a, b, code in triples:
+        key = frozenset((a, b))
+        if key in seen:
+            continue  # datasets occasionally repeat links
+        seen.add(key)
+        rtt = propagation_rtt_ms(
+            graph.as_of(a).location, graph.as_of(b).location
+        ) + params.access_latency_ms
+        delay = rtt / 2 + rng_delay.expovariate(1.0 / params.bgp_processing_delay_ms)
+        rel = Relationship.PEER if code == PEER_PEER else Relationship.CUSTOMER
+        # For provider->customer rows, b is a's customer.
+        graph.add_link(a, b, rel, rtt_ms=rtt, prop_delay_ms=delay)
+
+    # Interior costs and behaviour flags, as in the generator.
+    rng_igp = derive_rng(seed, "caida-igp")
+    rng_flags = derive_rng(seed, "caida-flags")
+    for asn in graph.asns():
+        tie_prone = rng_igp.random() < params.igp_tie_fraction
+        for neighbor in graph.neighbors(asn):
+            link = graph.link(asn, neighbor)
+            link.igp_cost[asn] = (
+                0 if tie_prone else 1 + stable_hash(seed, "caida-igp", asn, neighbor) % 1_000_000
+            )
+        node = graph.as_of(asn)
+        if node.tier != 1:
+            if rng_flags.random() < params.multipath_fraction:
+                node.multipath = True
+            elif rng_flags.random() < params.policy_deviant_fraction:
+                node.policy_deviant = True
+                node.deviant_prefs = {
+                    n: rng_flags.randint(50, 350) for n in graph.neighbors(asn)
+                }
+    return Internet(graph, {}, params, seed)
+
+
+def load_as_relationships_file(path, params: Optional[TopologyParams] = None, seed=0) -> Internet:
+    """Load a serial-1 dataset from a (possibly gzip-compressed) file."""
+    import gzip
+    from pathlib import Path
+
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rt") as handle:
+        return load_as_relationships(handle, params=params, seed=seed)

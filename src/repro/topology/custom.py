@@ -1,0 +1,101 @@
+"""Custom testbeds over arbitrary Internets.
+
+:func:`build_paper_testbed` reproduces Table 1; this module builds a
+:class:`~repro.topology.testbed.Testbed` from *any* Internet — a
+generated one with different parameters, or a real AS-relationship
+dataset loaded by :mod:`repro.topology.caida` — so the whole AnyOpt
+pipeline (discovery, prediction, optimization, peers) runs on
+topologies beyond the paper's.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.topology.generator import Internet
+from repro.topology.geo import GeoPoint, city, propagation_rtt_ms
+from repro.topology.testbed import PeeringLink, Site, Testbed, TestbedParams
+from repro.util.errors import ConfigurationError, TopologyError
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One site of a custom deployment.
+
+    Attributes:
+        host_asn: the AS the site announces through (its transit
+            provider, typically a tier-1 of the Internet in use).
+        city_name: the site's location (a catalog city).
+    """
+
+    host_asn: int
+    city_name: str
+
+
+def build_custom_testbed(
+    internet: Internet,
+    sites: Sequence[SiteSpec],
+    peers_per_site: int = 0,
+    params: Optional[TestbedParams] = None,
+    seed=0,
+) -> Testbed:
+    """Build a testbed with the given sites on an existing Internet.
+
+    Sites attach to their host AS at the PoP nearest their city (or
+    directly, for single-PoP hosts).  ``peers_per_site`` optionally
+    assigns that many settlement-free peers to every site, sampled
+    from non-tier-1 ASes as the paper testbed does.
+    """
+    if not sites:
+        raise ConfigurationError("a testbed needs at least one site")
+    params = params or TestbedParams(topology=internet.params)
+    graph = internet.graph
+    rng = derive_rng(seed, "custom-sites")
+
+    built: Dict[int, Site] = {}
+    for idx, spec in enumerate(sites, start=1):
+        if spec.host_asn not in graph:
+            raise TopologyError(f"site {idx}: unknown host AS {spec.host_asn}")
+        host = graph.as_of(spec.host_asn)
+        location = city(spec.city_name)
+        net = internet.pop_network(spec.host_asn)
+        attach_pop = net.nearest_pop(location) if net is not None else None
+        built[idx] = Site(
+            site_id=idx,
+            city_name=spec.city_name,
+            location=location,
+            provider_name=host.name or f"AS{host.asn}",
+            provider_asn=spec.host_asn,
+            attach_pop=attach_pop,
+            access_rtt_ms=round(rng.uniform(0.2, 1.5), 3),
+            n_peers=peers_per_site,
+        )
+
+    peer_links: Dict[int, PeeringLink] = {}
+    if peers_per_site:
+        candidates = [a for a in graph.asns() if graph.as_of(a).tier != 1]
+        hosts = {s.provider_asn for s in built.values()}
+        candidates = [a for a in candidates if a not in hosts]
+        needed = peers_per_site * len(built)
+        if len(candidates) < needed:
+            raise TopologyError(
+                f"need {needed} distinct peer ASes, only {len(candidates)} available"
+            )
+        rng_peers = derive_rng(seed, "custom-peers")
+        pool = list(candidates)
+        peer_id = 0
+        for site in built.values():
+            for _ in range(peers_per_site):
+                peer_asn = pool.pop(rng_peers.randrange(len(pool)))
+                rtt = propagation_rtt_ms(
+                    graph.as_of(peer_asn).location, site.location
+                ) + 0.5
+                peer_links[peer_id] = PeeringLink(
+                    peer_id=peer_id,
+                    site_id=site.site_id,
+                    peer_asn=peer_asn,
+                    link_rtt_ms=rtt,
+                )
+                peer_id += 1
+
+    return Testbed(internet, built, peer_links, params)

@@ -1,0 +1,331 @@
+"""Synthetic Internet-like AS topology generation.
+
+The generator builds the three-tier structure the paper's analysis
+assumes (S4.1): a clique of settlement-free-peering tier-1 networks, a
+layer of regional transit ASes, and a large population of multihomed
+stub (client) ASes.  Everything is geographically embedded so that
+data-plane latencies and IGP distances are meaningful, and every link
+carries a seeded control-plane propagation delay so that BGP
+advertisement *arrival order* is well defined (S4.2).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.topology.astopo import AS, ASGraph, Link, Relationship
+from repro.topology.geo import (
+    CITIES,
+    FIBER_KM_PER_MS,
+    GeoPoint,
+    city,
+    great_circle_km,
+    propagation_rtt_ms,
+)
+from repro.topology.intradomain import PopNetwork
+from repro.util.errors import TopologyError
+from repro.util.rng import derive_rng, stable_hash
+
+#: Well-known tier-1 backbones; the first six are the paper's transit
+#: providers (Table 1), in paper order.
+TIER1_BACKBONES = [
+    ("Telia", 1299),
+    ("Zayo", 6461),
+    ("TATA", 6453),
+    ("GTT", 3257),
+    ("NTT", 2914),
+    ("Sparkle", 6762),
+    ("Lumen", 3356),
+    ("Cogent", 174),
+    ("Telxius", 12956),
+    ("Orange", 5511),
+]
+
+_TIER2_ASN_BASE = 20000
+_STUB_ASN_BASE = 100000
+
+
+@dataclass
+class TopologyParams:
+    """Knobs controlling the synthetic Internet.
+
+    Defaults are sized so that a full testbed experiment suite runs in
+    seconds; raise ``n_stub`` toward a few thousand for paper-scale
+    client populations.
+    """
+
+    n_tier1: int = 8
+    n_tier2: int = 48
+    n_stub: int = 600
+    tier1_pop_min: int = 8
+    tier1_pop_max: int = 14
+    tier2_peering_prob: float = 0.10
+    stub_max_providers: int = 3
+    #: Fraction of non-tier-1 ASes that load-balance over equal routes.
+    multipath_fraction: float = 0.03
+    #: Fraction of non-tier-1 ASes with relationship-ignoring local prefs.
+    policy_deviant_fraction: float = 0.02
+    #: Fraction of stub ASes that are content/infrastructure networks
+    #: hosting no ping targets (they still route and can peer).
+    content_stub_fraction: float = 0.25
+    #: Fraction of ASes whose BGP sessions have *equal* interior (IGP)
+    #: costs, so ties survive decision step 6 and reach the
+    #: arrival-order tie-break; the rest break ties deterministically
+    #: on interior cost, as most real routers do.
+    #: Calibrated so that reversing a pairwise announcement flips the
+    #: catchment of roughly 5-14% of targets, the band Figure 4a reports.
+    igp_tie_fraction: float = 0.18
+    #: Fraction of ASes whose routers break remaining ties on
+    #: advertisement age (the Cisco/Juniper behaviour of S4.2); the
+    #: rest fall straight through to the neighbor-id tie-break.  Set
+    #: to 0.0 for the source-oblivious world of Theorems A.1/A.2.
+    arrival_order_fraction: float = 1.0
+    #: Mean of the exponential per-hop BGP processing delay (ms).
+    bgp_processing_delay_ms: float = 25.0
+    #: Extra per-link access latency added to data-plane RTT (ms).
+    access_latency_ms: float = 1.5
+    #: Per-provider list of city names that must appear as PoPs
+    #: (used by the testbed so site cities exist inside providers).
+    required_tier1_pops: Dict[str, List[str]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.n_tier1 < 2:
+            raise TopologyError("need at least two tier-1 ASes")
+        if self.n_tier1 > len(TIER1_BACKBONES):
+            raise TopologyError(
+                f"at most {len(TIER1_BACKBONES)} tier-1 ASes supported"
+            )
+        for frac_name in (
+            "multipath_fraction",
+            "policy_deviant_fraction",
+            "igp_tie_fraction",
+            "arrival_order_fraction",
+            "content_stub_fraction",
+        ):
+            value = getattr(self, frac_name)
+            if not 0.0 <= value <= 1.0:
+                raise TopologyError(f"{frac_name} must be in [0, 1]")
+
+
+class Internet:
+    """A generated Internet: AS graph plus per-AS PoP backbones."""
+
+    def __init__(self, graph: ASGraph, pop_networks: Dict[int, PopNetwork], params: TopologyParams, seed):
+        self.graph = graph
+        self.pop_networks = pop_networks
+        self.params = params
+        self.seed = seed
+
+    def pop_network(self, asn: int) -> Optional[PopNetwork]:
+        """The PoP backbone of ``asn``, or None for single-PoP ASes."""
+        return self.pop_networks.get(asn)
+
+    def attach_pop(self, multi_pop_asn: int, neighbor_asn: int) -> int:
+        """The PoP at which ``neighbor_asn`` attaches to a multi-PoP AS."""
+        link = self.graph.link(multi_pop_asn, neighbor_asn)
+        try:
+            return link.attach_pop[multi_pop_asn]
+        except KeyError:
+            raise TopologyError(
+                f"link {multi_pop_asn}<->{neighbor_asn} has no attachment "
+                f"PoP recorded for AS {multi_pop_asn}"
+            ) from None
+
+    def tier1_by_name(self, name: str) -> int:
+        for asn, node in self.graph.ases.items():
+            if node.tier == 1 and node.name == name:
+                return asn
+        raise TopologyError(f"no tier-1 AS named {name!r}")
+
+
+def generate_internet(params: Optional[TopologyParams] = None, seed=0) -> Internet:
+    """Generate a synthetic Internet.
+
+    The same ``(params, seed)`` pair always yields an identical
+    topology, including link delays and AS behaviour flags.
+    """
+    params = params or TopologyParams()
+    graph = ASGraph()
+    pop_networks: Dict[int, PopNetwork] = {}
+    city_names = sorted(CITIES)
+
+    rng_place = derive_rng(seed, "placement")
+    rng_pops = derive_rng(seed, "pops")
+    rng_links = derive_rng(seed, "links")
+    rng_flags = derive_rng(seed, "flags")
+    rng_delay = derive_rng(seed, "bgp-delays")
+
+    # --- tier-1 clique ------------------------------------------------
+    tier1_asns: List[int] = []
+    for name, asn in TIER1_BACKBONES[: params.n_tier1]:
+        pop_cities = _tier1_pop_cities(name, params, rng_pops, city_names)
+        pops = [city(c) for c in pop_cities]
+        node = AS(asn=asn, tier=1, location=pops[0], name=name)
+        graph.add_as(node)
+        pop_networks[asn] = PopNetwork(asn, pops, derive_rng(seed, "backbone", asn))
+        tier1_asns.append(asn)
+
+    for i, a in enumerate(tier1_asns):
+        for b in tier1_asns[i + 1:]:
+            _link_tier1_pair(graph, pop_networks, a, b, params, rng_delay)
+
+    # --- tier-2 regional transits --------------------------------------
+    tier2_asns: List[int] = []
+    for idx in range(params.n_tier2):
+        asn = _TIER2_ASN_BASE + idx
+        loc = city(rng_place.choice(city_names))
+        graph.add_as(AS(asn=asn, tier=2, location=loc, name=f"transit-{idx}"))
+        tier2_asns.append(asn)
+        n_providers = rng_links.randint(1, min(3, len(tier1_asns)))
+        for provider in _proximity_sample(rng_links, tier1_asns, graph, pop_networks, loc, n_providers):
+            _link_customer_to_provider(graph, pop_networks, asn, provider, params, rng_delay)
+
+    for i, a in enumerate(tier2_asns):
+        for b in tier2_asns[i + 1:]:
+            if rng_links.random() < params.tier2_peering_prob:
+                _link_single_pop_pair(graph, a, b, Relationship.PEER, params, rng_delay)
+
+    # --- stub (client) ASes ---------------------------------------------
+    rng_content = derive_rng(seed, "content-stubs")
+    for idx in range(params.n_stub):
+        asn = _STUB_ASN_BASE + idx
+        loc = city(rng_place.choice(city_names))
+        is_content = rng_content.random() < params.content_stub_fraction
+        graph.add_as(
+            AS(
+                asn=asn,
+                tier=3,
+                location=loc,
+                name=f"{'content' if is_content else 'stub'}-{idx}",
+                hosts_clients=not is_content,
+            )
+        )
+        n_providers = rng_links.randint(1, params.stub_max_providers)
+        # Stubs buy transit mostly from tier-2s, sometimes directly
+        # from a tier-1 (as many large eyeball networks do).
+        candidates = tier2_asns if rng_links.random() < 0.8 else tier1_asns
+        for provider in _proximity_sample(rng_links, candidates, graph, pop_networks, loc, n_providers):
+            _link_customer_to_provider(graph, pop_networks, asn, provider, params, rng_delay)
+
+    # --- interior costs ---------------------------------------------------
+    # A "tie-prone" AS (e.g. all sessions at one PoP) has equal IGP
+    # costs everywhere, so equally-good routes reach the arrival-order
+    # tie-break; other ASes break such ties deterministically here.
+    rng_igp = derive_rng(seed, "igp-costs")
+    for asn in graph.asns():
+        tie_prone = rng_igp.random() < params.igp_tie_fraction
+        for neighbor in graph.neighbors(asn):
+            link = graph.link(asn, neighbor)
+            if tie_prone:
+                link.igp_cost[asn] = 0
+            else:
+                link.igp_cost[asn] = 1 + stable_hash(seed, "igp", asn, neighbor) % 1_000_000
+
+    # --- behaviour flags -------------------------------------------------
+    rng_arrival = derive_rng(seed, "arrival-order")
+    for asn in graph.asns():
+        graph.as_of(asn).arrival_order_tiebreak = (
+            rng_arrival.random() < params.arrival_order_fraction
+        )
+    non_tier1 = [asn for asn in graph.asns() if graph.as_of(asn).tier != 1]
+    for asn in non_tier1:
+        node = graph.as_of(asn)
+        if rng_flags.random() < params.multipath_fraction:
+            node.multipath = True
+        elif rng_flags.random() < params.policy_deviant_fraction:
+            node.policy_deviant = True
+            node.deviant_prefs = {
+                neighbor: rng_flags.randint(50, 350)
+                for neighbor in graph.neighbors(asn)
+            }
+
+    graph.validate()
+    return Internet(graph, pop_networks, params, seed)
+
+
+# --- helpers -------------------------------------------------------------
+
+
+def _tier1_pop_cities(name: str, params: TopologyParams, rng, city_names: Sequence[str]) -> List[str]:
+    required = list(params.required_tier1_pops.get(name, ()))
+    for c in required:
+        city(c)  # raise early on typos
+    count = rng.randint(params.tier1_pop_min, params.tier1_pop_max)
+    pool = [c for c in city_names if c not in required]
+    extra = rng.sample(pool, max(0, min(len(pool), count - len(required))))
+    return required + extra
+
+
+def _proximity_sample(rng, candidates: Sequence[int], graph: ASGraph, pop_networks, loc: GeoPoint, k: int) -> List[int]:
+    """Sample up to ``k`` distinct providers, weighted toward nearby ones."""
+    chosen: List[int] = []
+    pool = list(candidates)
+    k = min(k, len(pool))
+    while len(chosen) < k and pool:
+        weights = []
+        for asn in pool:
+            node = graph.as_of(asn)
+            net = pop_networks.get(asn)
+            if net is not None:
+                anchor = net.pop_location(net.nearest_pop(loc))
+            else:
+                anchor = node.location
+            weights.append(1.0 / (200.0 + great_circle_km(anchor, loc)))
+        pick = rng.choices(range(len(pool)), weights=weights, k=1)[0]
+        chosen.append(pool.pop(pick))
+    return chosen
+
+
+def _bgp_delay(rng, rtt_ms: float, params: TopologyParams) -> float:
+    """One-way control-plane delay across a link: half the data-plane
+    RTT plus an exponential processing component."""
+    return rtt_ms / 2 + rng.expovariate(1.0 / params.bgp_processing_delay_ms)
+
+
+def _link_tier1_pair(graph: ASGraph, pop_networks, a: int, b: int, params: TopologyParams, rng) -> Link:
+    """Peer two tier-1 backbones at their geographically closest PoPs."""
+    net_a, net_b = pop_networks[a], pop_networks[b]
+    best = None
+    for i in range(net_a.pop_count):
+        loc_a = net_a.pop_location(i)
+        j = net_b.nearest_pop(loc_a)
+        km = great_circle_km(loc_a, net_b.pop_location(j))
+        if best is None or km < best[0]:
+            best = (km, i, j)
+    _, pop_a, pop_b = best
+    rtt = propagation_rtt_ms(net_a.pop_location(pop_a), net_b.pop_location(pop_b))
+    rtt += params.access_latency_ms
+    return graph.add_peering(
+        a, b,
+        rtt_ms=rtt,
+        prop_delay_ms=_bgp_delay(rng, rtt, params),
+        attach_pop={a: pop_a, b: pop_b},
+    )
+
+
+def _link_customer_to_provider(graph: ASGraph, pop_networks, customer: int, provider: int, params: TopologyParams, rng) -> Link:
+    loc = graph.as_of(customer).location
+    attach = {}
+    net = pop_networks.get(provider)
+    if net is not None:
+        pop = net.nearest_pop(loc)
+        anchor = net.pop_location(pop)
+        attach[provider] = pop
+    else:
+        anchor = graph.as_of(provider).location
+    rtt = propagation_rtt_ms(loc, anchor) + params.access_latency_ms
+    return graph.add_provider(
+        customer, provider,
+        rtt_ms=rtt,
+        prop_delay_ms=_bgp_delay(rng, rtt, params),
+        attach_pop=attach,
+    )
+
+
+def _link_single_pop_pair(graph: ASGraph, a: int, b: int, rel: Relationship, params: TopologyParams, rng) -> Link:
+    rtt = propagation_rtt_ms(graph.as_of(a).location, graph.as_of(b).location)
+    rtt += params.access_latency_ms
+    return graph.add_link(
+        a, b, rel,
+        rtt_ms=rtt,
+        prop_delay_ms=_bgp_delay(rng, rtt, params),
+    )

@@ -1,0 +1,143 @@
+"""Geography: city catalog, great-circle distances, and latency.
+
+The simulator embeds every AS and PoP at a geographic location.  RTTs
+between locations are derived from great-circle distance at the speed of
+light in fiber with a configurable path-stretch factor, which preserves
+the property the paper relies on: a geographically distant anycast site
+has a high RTT, and IGP shortest-path distance correlates with RTT
+(S4.3 of the paper).
+"""
+
+import math
+from dataclasses import dataclass
+
+#: Speed of light in fiber, km per millisecond (~200,000 km/s).
+FIBER_KM_PER_MS = 200.0
+
+#: Default multiplicative stretch of fiber paths over great circles.
+DEFAULT_PATH_STRETCH = 1.3
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point on the globe, in decimal degrees."""
+
+    lat: float
+    lon: float
+    name: str = ""
+
+    def __post_init__(self):
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+
+#: World cities used to place ASes, PoPs, and anycast sites.  The twelve
+#: testbed cities from Table 1 of the paper are all present.
+CITIES = {
+    "Atlanta": GeoPoint(33.749, -84.388, "Atlanta"),
+    "Amsterdam": GeoPoint(52.370, 4.895, "Amsterdam"),
+    "Los Angeles": GeoPoint(34.052, -118.244, "Los Angeles"),
+    "Singapore": GeoPoint(1.352, 103.820, "Singapore"),
+    "London": GeoPoint(51.507, -0.128, "London"),
+    "Tokyo": GeoPoint(35.690, 139.692, "Tokyo"),
+    "Osaka": GeoPoint(34.694, 135.502, "Osaka"),
+    "Miami": GeoPoint(25.762, -80.192, "Miami"),
+    "Newark": GeoPoint(40.736, -74.172, "Newark"),
+    "Stockholm": GeoPoint(59.329, 18.069, "Stockholm"),
+    "Toronto": GeoPoint(43.653, -79.383, "Toronto"),
+    "Sao Paulo": GeoPoint(-23.551, -46.633, "Sao Paulo"),
+    "Chicago": GeoPoint(41.878, -87.630, "Chicago"),
+    "New York": GeoPoint(40.713, -74.006, "New York"),
+    "Seattle": GeoPoint(47.606, -122.332, "Seattle"),
+    "Dallas": GeoPoint(32.777, -96.797, "Dallas"),
+    "Denver": GeoPoint(39.739, -104.990, "Denver"),
+    "San Jose": GeoPoint(37.339, -121.895, "San Jose"),
+    "Ashburn": GeoPoint(39.044, -77.488, "Ashburn"),
+    "Mexico City": GeoPoint(19.433, -99.133, "Mexico City"),
+    "Bogota": GeoPoint(4.711, -74.072, "Bogota"),
+    "Buenos Aires": GeoPoint(-34.604, -58.382, "Buenos Aires"),
+    "Santiago": GeoPoint(-33.449, -70.669, "Santiago"),
+    "Lima": GeoPoint(-12.046, -77.043, "Lima"),
+    "Paris": GeoPoint(48.857, 2.352, "Paris"),
+    "Frankfurt": GeoPoint(50.110, 8.682, "Frankfurt"),
+    "Madrid": GeoPoint(40.417, -3.704, "Madrid"),
+    "Milan": GeoPoint(45.464, 9.190, "Milan"),
+    "Zurich": GeoPoint(47.377, 8.541, "Zurich"),
+    "Vienna": GeoPoint(48.208, 16.374, "Vienna"),
+    "Warsaw": GeoPoint(52.230, 21.012, "Warsaw"),
+    "Prague": GeoPoint(50.076, 14.437, "Prague"),
+    "Dublin": GeoPoint(53.349, -6.260, "Dublin"),
+    "Oslo": GeoPoint(59.914, 10.752, "Oslo"),
+    "Helsinki": GeoPoint(60.170, 24.938, "Helsinki"),
+    "Copenhagen": GeoPoint(55.676, 12.568, "Copenhagen"),
+    "Brussels": GeoPoint(50.850, 4.352, "Brussels"),
+    "Lisbon": GeoPoint(38.722, -9.139, "Lisbon"),
+    "Athens": GeoPoint(37.984, 23.728, "Athens"),
+    "Istanbul": GeoPoint(41.008, 28.978, "Istanbul"),
+    "Moscow": GeoPoint(55.756, 37.617, "Moscow"),
+    "Dubai": GeoPoint(25.205, 55.271, "Dubai"),
+    "Mumbai": GeoPoint(19.076, 72.878, "Mumbai"),
+    "Delhi": GeoPoint(28.614, 77.209, "Delhi"),
+    "Chennai": GeoPoint(13.083, 80.270, "Chennai"),
+    "Bangkok": GeoPoint(13.756, 100.502, "Bangkok"),
+    "Jakarta": GeoPoint(-6.209, 106.846, "Jakarta"),
+    "Kuala Lumpur": GeoPoint(3.139, 101.687, "Kuala Lumpur"),
+    "Hong Kong": GeoPoint(22.319, 114.169, "Hong Kong"),
+    "Taipei": GeoPoint(25.033, 121.565, "Taipei"),
+    "Seoul": GeoPoint(37.567, 126.978, "Seoul"),
+    "Shanghai": GeoPoint(31.230, 121.474, "Shanghai"),
+    "Beijing": GeoPoint(39.904, 116.407, "Beijing"),
+    "Manila": GeoPoint(14.600, 120.984, "Manila"),
+    "Sydney": GeoPoint(-33.869, 151.209, "Sydney"),
+    "Melbourne": GeoPoint(-37.814, 144.963, "Melbourne"),
+    "Auckland": GeoPoint(-36.848, 174.763, "Auckland"),
+    "Johannesburg": GeoPoint(-26.204, 28.047, "Johannesburg"),
+    "Cairo": GeoPoint(30.044, 31.236, "Cairo"),
+    "Lagos": GeoPoint(6.524, 3.379, "Lagos"),
+    "Nairobi": GeoPoint(-1.292, 36.822, "Nairobi"),
+    "Tel Aviv": GeoPoint(32.085, 34.782, "Tel Aviv"),
+}
+
+
+def city(name: str) -> GeoPoint:
+    """Look up a city by name.
+
+    >>> city("London").lat
+    51.507
+    """
+    try:
+        return CITIES[name]
+    except KeyError:
+        raise KeyError(f"unknown city {name!r}; known: {sorted(CITIES)}") from None
+
+
+def great_circle_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle (haversine) distance between two points, in km."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = (
+        math.sin(dlat / 2) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    )
+    earth_radius_km = 6371.0
+    return 2 * earth_radius_km * math.asin(min(1.0, math.sqrt(h)))
+
+
+def propagation_rtt_ms(a: GeoPoint, b: GeoPoint, stretch: float = DEFAULT_PATH_STRETCH) -> float:
+    """Round-trip propagation latency between two points, in ms.
+
+    Uses the speed of light in fiber and a path-stretch factor that
+    accounts for fiber not following great circles.
+
+    >>> rtt = propagation_rtt_ms(city("New York"), city("London"))
+    >>> 60 < rtt < 90
+    True
+    """
+    if stretch <= 0:
+        raise ValueError("stretch must be positive")
+    one_way_ms = great_circle_km(a, b) * stretch / FIBER_KM_PER_MS
+    return 2 * one_way_ms

@@ -1,0 +1,38 @@
+"""Shared utilities: deterministic RNG, statistics, and validation errors.
+
+Everything in :mod:`repro` that needs randomness takes an explicit seed or
+an explicit :class:`random.Random` instance; nothing reads global RNG
+state.  The helpers here keep that discipline convenient.
+"""
+
+from repro.util.errors import (
+    ConfigurationError,
+    MeasurementError,
+    ReproError,
+    TopologyError,
+)
+from repro.util.rng import derive_rng, make_rng, stable_hash
+from repro.util.stats import (
+    cdf_points,
+    mean,
+    median,
+    percentile,
+    relative_error,
+    summarize,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "MeasurementError",
+    "ReproError",
+    "TopologyError",
+    "cdf_points",
+    "derive_rng",
+    "make_rng",
+    "mean",
+    "median",
+    "percentile",
+    "relative_error",
+    "stable_hash",
+    "summarize",
+]

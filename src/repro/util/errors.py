@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause while
+still distinguishing subsystems when they need to.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class TopologyError(ReproError):
+    """An AS-level or router-level topology is malformed or inconsistent.
+
+    Raised, for example, when an edge references an unknown AS, when an
+    AS is given two conflicting relationships with the same neighbor, or
+    when a generated topology fails its structural invariants.
+    """
+
+
+class ConfigurationError(ReproError):
+    """An anycast configuration is invalid.
+
+    Raised when a configuration enables a site that does not exist,
+    enables zero sites, or pairs a site with a provider it does not
+    connect to.
+    """
+
+
+class MeasurementError(ReproError):
+    """A measurement could not be carried out.
+
+    Raised when an experiment is asked to probe targets while no site is
+    announcing, or when too few ICMP replies survive loss to produce a
+    valid RTT sample.
+    """

@@ -1,0 +1,107 @@
+"""Small statistics helpers used across measurements and benchmarks.
+
+These mirror the aggregations the paper reports: medians of repeated
+probes (S3), mean RTTs per configuration (S5.2), CDFs over targets
+(Figures 5-7), and relative prediction errors (Figure 5c).
+"""
+
+import math
+
+
+def mean(values):
+    """Arithmetic mean of a non-empty sequence.
+
+    >>> mean([1.0, 2.0, 3.0])
+    2.0
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("mean() of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values):
+    """Median of a non-empty sequence (average of middle two if even).
+
+    The paper uses the median of seven ICMP samples to filter outliers
+    (S3, "Measuring RTTs").
+
+    >>> median([5, 1, 3])
+    3
+    >>> median([1, 2, 3, 4])
+    2.5
+    """
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median() of empty sequence")
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def percentile(values, q):
+    """Linear-interpolation percentile, ``q`` in [0, 100].
+
+    >>> percentile([0, 10], 50)
+    5.0
+    """
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile() of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("percentile q must be within [0, 100]")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def relative_error(predicted, actual):
+    """Absolute relative error ``|predicted - actual| / |actual|``.
+
+    >>> relative_error(11.0, 10.0)
+    0.1
+    """
+    if actual == 0:
+        raise ValueError("relative_error() undefined for actual == 0")
+    return abs(predicted - actual) / abs(actual)
+
+
+def cdf_points(values):
+    """Return ``(sorted_values, cumulative_fractions)`` for a CDF plot.
+
+    The i-th fraction is ``(i + 1) / n``, i.e. the fraction of samples
+    less than or equal to the i-th sorted value.
+
+    >>> cdf_points([3, 1, 2])
+    ([1, 2, 3], [0.3333333333333333, 0.6666666666666666, 1.0])
+    """
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("cdf_points() of empty sequence")
+    return ordered, [(i + 1) / n for i in range(n)]
+
+
+def summarize(values):
+    """Return a dict with mean / median / p10 / p90 / min / max.
+
+    Convenient for printing benchmark rows.
+    """
+    values = list(values)
+    return {
+        "n": len(values),
+        "mean": mean(values),
+        "median": median(values),
+        "p10": percentile(values, 10),
+        "p90": percentile(values, 90),
+        "min": min(values),
+        "max": max(values),
+    }

@@ -1,0 +1,73 @@
+"""Shared fixtures.
+
+Expensive artifacts (testbed, target set, discovered AnyOpt model) are
+session-scoped and deterministic, so the whole suite reuses one
+simulated Internet.  Tests that need noise-free behaviour use the
+``clean_orchestrator`` (churn, drift, and jitter all zero).
+"""
+
+import pytest
+
+from repro import AnyOpt, select_targets
+from repro.core import ExperimentRunner
+from repro.measurement import Orchestrator
+from repro.topology import TestbedParams, TopologyParams, build_paper_testbed, generate_internet
+
+SEED = 7
+
+
+def small_topology_params() -> TopologyParams:
+    return TopologyParams(n_stub=150, n_tier2=24)
+
+
+@pytest.fixture(scope="session")
+def internet():
+    return generate_internet(small_topology_params(), seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    params = TestbedParams(topology=small_topology_params())
+    return build_paper_testbed(params, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def targets(testbed):
+    return select_targets(
+        testbed.internet, targets_per_as_min=1, targets_per_as_max=2, seed=SEED
+    )
+
+
+@pytest.fixture()
+def clean_orchestrator(testbed, targets):
+    """Noise-free orchestrator: deterministic, repeatable deployments."""
+    return Orchestrator(
+        testbed,
+        targets,
+        seed=SEED,
+        session_churn_prob=0.0,
+        rtt_drift_sigma=0.0,
+        rtt_bias_sigma=0.0,
+        bgp_delay_jitter_ms=0.0,
+    )
+
+
+@pytest.fixture()
+def noisy_orchestrator(testbed, targets):
+    """Orchestrator with the default drift/churn/jitter models."""
+    return Orchestrator(testbed, targets, seed=SEED)
+
+
+@pytest.fixture()
+def clean_runner(clean_orchestrator):
+    return ExperimentRunner(clean_orchestrator)
+
+
+@pytest.fixture(scope="session")
+def anyopt(testbed, targets):
+    return AnyOpt(testbed, targets=targets, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def anyopt_model(anyopt):
+    return anyopt.discover()

@@ -1,0 +1,153 @@
+"""Unit tests for the AS-level graph."""
+
+import pytest
+
+from repro.topology.astopo import AS, ASGraph, Link, Relationship
+from repro.topology.geo import city
+from repro.util.errors import TopologyError
+
+
+def make_as(asn, tier=3, **kwargs):
+    return AS(asn=asn, tier=tier, location=city("London"), **kwargs)
+
+
+def tiny_graph():
+    """t1a -- t1b (peers); stub buys from both."""
+    g = ASGraph()
+    g.add_as(make_as(10, tier=1))
+    g.add_as(make_as(20, tier=1))
+    g.add_as(make_as(30, tier=3))
+    g.add_peering(10, 20)
+    g.add_provider(30, 10)
+    g.add_provider(30, 20)
+    return g
+
+
+class TestRelationship:
+    def test_inverse_pairs(self):
+        assert Relationship.CUSTOMER.inverse() is Relationship.PROVIDER
+        assert Relationship.PROVIDER.inverse() is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse() is Relationship.PEER
+
+
+class TestAS:
+    def test_rejects_nonpositive_asn(self):
+        with pytest.raises(TopologyError):
+            make_as(0)
+
+    def test_rejects_bad_tier(self):
+        with pytest.raises(TopologyError):
+            AS(asn=1, tier=4, location=city("London"))
+
+    def test_default_flags(self):
+        node = make_as(5)
+        assert not node.multipath
+        assert not node.policy_deviant
+        assert node.arrival_order_tiebreak
+
+
+class TestLink:
+    def test_endpoint_ordering_enforced(self):
+        with pytest.raises(TopologyError):
+            Link(5, 3, 1.0, 1.0)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(5, 5, 1.0, 1.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(1, 2, -1.0, 1.0)
+
+    def test_other(self):
+        link = Link(1, 2, 1.0, 1.0)
+        assert link.other(1) == 2
+        assert link.other(2) == 1
+        with pytest.raises(TopologyError):
+            link.other(3)
+
+
+class TestASGraph:
+    def test_duplicate_asn_rejected(self):
+        g = ASGraph()
+        g.add_as(make_as(1))
+        with pytest.raises(TopologyError):
+            g.add_as(make_as(1))
+
+    def test_duplicate_link_rejected(self):
+        g = tiny_graph()
+        with pytest.raises(TopologyError):
+            g.add_peering(10, 20)
+
+    def test_link_to_unknown_as_rejected(self):
+        g = ASGraph()
+        g.add_as(make_as(1))
+        with pytest.raises(TopologyError):
+            g.add_provider(1, 99)
+
+    def test_rel_both_directions(self):
+        g = tiny_graph()
+        assert g.rel(30, 10) is Relationship.PROVIDER
+        assert g.rel(10, 30) is Relationship.CUSTOMER
+        assert g.rel(10, 20) is Relationship.PEER
+
+    def test_rel_missing_link_raises(self):
+        g = tiny_graph()
+        with pytest.raises(TopologyError):
+            g.rel(10, 99)
+
+    def test_neighbors(self):
+        g = tiny_graph()
+        assert sorted(g.neighbors(30)) == [10, 20]
+
+    def test_customers_providers_peers(self):
+        g = tiny_graph()
+        assert g.customers(10) == [30]
+        assert g.providers(30) == [10, 20]
+        assert g.peers(10) == [20]
+
+    def test_tier1_and_client_lists(self):
+        g = tiny_graph()
+        assert g.tier1_asns() == [10, 20]
+        assert g.client_asns() == [30]
+
+    def test_contains_and_len(self):
+        g = tiny_graph()
+        assert 10 in g and 99 not in g
+        assert len(g) == 3
+
+    def test_validate_passes_on_tiny(self):
+        tiny_graph().validate()
+
+    def test_validate_rejects_tier1_with_provider(self):
+        g = ASGraph()
+        g.add_as(make_as(1, tier=1))
+        g.add_as(make_as(2, tier=1))
+        g.add_peering(1, 2)
+        g.add_as(make_as(3, tier=1))
+        g.add_provider(3, 1)  # a tier-1 buying transit: invalid
+        g.add_peering(2, 3)
+        with pytest.raises(TopologyError):
+            g.validate()
+
+    def test_validate_rejects_orphan_stub(self):
+        g = ASGraph()
+        g.add_as(make_as(1, tier=1))
+        g.add_as(make_as(2, tier=3))
+        with pytest.raises(TopologyError):
+            g.validate()
+
+    def test_validate_rejects_broken_tier1_clique(self):
+        g = ASGraph()
+        g.add_as(make_as(1, tier=1))
+        g.add_as(make_as(2, tier=1))
+        # no peering between the two tier-1s
+        with pytest.raises(TopologyError):
+            g.validate()
+
+    def test_link_lookup(self):
+        g = tiny_graph()
+        link = g.link(30, 10)
+        assert {link.a, link.b} == {10, 30}
+        with pytest.raises(TopologyError):
+            g.link(10, 99)

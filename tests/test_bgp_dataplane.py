@@ -1,0 +1,133 @@
+"""Tests for data-plane forwarding resolution."""
+
+import pytest
+
+from repro.bgp.dataplane import DataPlane
+from repro.bgp.engine import BGPEngine, SiteInjection
+from repro.topology.astopo import Relationship
+
+
+def injection(testbed, site_id, t=0.0):
+    site = testbed.site(site_id)
+    return SiteInjection(
+        host_asn=site.provider_asn,
+        site_id=site_id,
+        pop_id=site.attach_pop,
+        link_rtt_ms=site.access_rtt_ms,
+        rel_from_host=Relationship.CUSTOMER,
+        announce_time_ms=t,
+    )
+
+
+@pytest.fixture(scope="module")
+def two_site_state(testbed):
+    engine = BGPEngine(testbed.internet)
+    conv = engine.run([injection(testbed, 1), injection(testbed, 6, t=360000.0)])
+    return DataPlane(testbed.internet, conv)
+
+
+@pytest.fixture(scope="module")
+def same_provider_state(testbed):
+    engine = BGPEngine(testbed.internet)
+    conv = engine.run([injection(testbed, 6), injection(testbed, 7, t=360000.0)])
+    return DataPlane(testbed.internet, conv)
+
+
+class TestForward:
+    def test_all_clients_reach_a_site(self, two_site_state, testbed):
+        for asn in testbed.internet.graph.client_asns():
+            outcome = two_site_state.forward(asn, asn)
+            assert outcome is not None
+            assert outcome.site_id in (1, 6)
+
+    def test_path_starts_at_client(self, two_site_state, testbed):
+        asn = testbed.internet.graph.client_asns()[0]
+        outcome = two_site_state.forward(asn, asn)
+        assert outcome.as_path[0] == asn
+        assert outcome.as_path[-1] == outcome.terminating_asn
+
+    def test_terminator_hosts_the_site(self, two_site_state, testbed):
+        for asn in testbed.internet.graph.client_asns()[:50]:
+            outcome = two_site_state.forward(asn, asn)
+            assert outcome.terminating_asn == testbed.site(outcome.site_id).provider_asn
+
+    def test_rtt_positive_and_bounded(self, two_site_state, testbed):
+        for asn in testbed.internet.graph.client_asns()[:50]:
+            outcome = two_site_state.forward(asn, asn)
+            assert 0 < outcome.rtt_ms < 1500.0
+
+    def test_rtt_at_least_link_sum_lower_bound(self, two_site_state, testbed):
+        """The path RTT is at least the sum of the traversed inter-AS
+        link RTTs (intra-AS segments only add)."""
+        graph = testbed.internet.graph
+        for asn in graph.client_asns()[:30]:
+            outcome = two_site_state.forward(asn, asn)
+            link_sum = sum(
+                graph.link(a, b).rtt_ms
+                for a, b in zip(outcome.as_path, outcome.as_path[1:])
+            )
+            assert outcome.rtt_ms >= link_sum - 1e-9
+
+    def test_deterministic_per_flow(self, two_site_state, testbed):
+        asn = testbed.internet.graph.client_asns()[3]
+        a = two_site_state.forward(asn, "flow-1")
+        b = two_site_state.forward(asn, "flow-1")
+        assert a == b
+
+    def test_unreachable_returns_none(self, testbed):
+        """Under a peer-only announcement, most clients have no route."""
+        link = next(iter(testbed.peer_links.values()))
+        engine = BGPEngine(testbed.internet)
+        conv = engine.run([
+            SiteInjection(
+                host_asn=link.peer_asn, site_id=link.site_id,
+                pop_id=None, link_rtt_ms=link.link_rtt_ms,
+                rel_from_host=Relationship.PEER,
+            )
+        ])
+        dp = DataPlane(testbed.internet, conv)
+        results = [dp.forward(a, a) for a in testbed.internet.graph.client_asns()]
+        assert any(r is None for r in results)
+
+
+class TestHotPotato:
+    def test_same_provider_split_by_geography(self, same_provider_state, testbed):
+        """With Tokyo and Osaka both on NTT, both sites get traffic and
+        the chosen site is the IGP-nearest to each flow's ingress."""
+        sites_seen = set()
+        for asn in testbed.internet.graph.client_asns():
+            outcome = same_provider_state.forward(asn, asn)
+            assert outcome is not None
+            sites_seen.add(outcome.site_id)
+        assert sites_seen == {6, 7}
+
+    def test_hot_potato_picks_igp_nearest(self, same_provider_state, testbed):
+        ntt = testbed.site(6).provider_asn
+        net = testbed.internet.pop_network(ntt)
+        pop6 = testbed.site(6).attach_pop
+        pop7 = testbed.site(7).attach_pop
+        for asn in testbed.internet.graph.client_asns()[:80]:
+            outcome = same_provider_state.forward(asn, asn)
+            if outcome.ingress_pop is None:
+                continue
+            expected_pop = net.closest_pop_of(outcome.ingress_pop, [pop6, pop7])
+            expected_site = 6 if expected_pop == pop6 else 7
+            assert outcome.site_id == expected_site
+
+
+class TestMultipath:
+    def test_nonce_variation_only_affects_multipath_clients(self, testbed):
+        engine = BGPEngine(testbed.internet)
+        conv = engine.run([injection(testbed, 1), injection(testbed, 6, t=360000.0)])
+        dp1 = DataPlane(testbed.internet, conv, flow_nonce=1)
+        dp2 = DataPlane(testbed.internet, conv, flow_nonce=2)
+        graph = testbed.internet.graph
+        multipath_asns = {a for a in graph.asns() if graph.as_of(a).multipath}
+        for asn in graph.client_asns():
+            o1 = dp1.forward(asn, asn)
+            o2 = dp2.forward(asn, asn)
+            if o1 is None or o2 is None:
+                continue
+            if o1.site_id != o2.site_id:
+                # A flip requires a multipath AS somewhere on a path.
+                assert multipath_asns & (set(o1.as_path) | set(o2.as_path))

@@ -1,0 +1,66 @@
+"""Unit tests for Route and SitePop."""
+
+import pytest
+
+from repro.bgp.messages import Route, SitePop
+from repro.topology.astopo import Relationship
+from repro.util.errors import ReproError
+
+
+def route(**kwargs):
+    defaults = dict(
+        prefix="192.0.2.0/24",
+        as_path=(10, 65000),
+        learned_from=10,
+        local_pref=100,
+    )
+    defaults.update(kwargs)
+    return Route(**defaults)
+
+
+class TestRoute:
+    def test_empty_path_rejected(self):
+        with pytest.raises(ReproError):
+            route(as_path=())
+
+    def test_path_length(self):
+        assert route(as_path=(1, 2, 3)).path_length == 3
+
+    def test_origin_asn_is_last(self):
+        assert route(as_path=(10, 20, 65000)).origin_asn == 65000
+
+    def test_injected_detection(self):
+        plain = route()
+        assert not plain.is_injected()
+        injected = route(site_pops=(SitePop(1, 0, 0.5),))
+        assert injected.is_injected()
+
+    def test_materially_equal_ignores_arrival_time(self):
+        a = route(arrival_time=1.0)
+        b = route(arrival_time=99.0)
+        assert a.materially_equal(b)
+
+    def test_materially_equal_ignores_local_pref(self):
+        assert route(local_pref=100).materially_equal(route(local_pref=300))
+
+    def test_material_difference_in_path(self):
+        assert not route().materially_equal(route(as_path=(20, 65000), learned_from=20))
+
+    def test_material_difference_in_med(self):
+        assert not route().materially_equal(route(med=5))
+
+    def test_not_equal_to_none(self):
+        assert not route().materially_equal(None)
+
+    def test_default_relationship(self):
+        assert route().learned_rel is Relationship.PROVIDER
+
+
+class TestSitePop:
+    def test_fields(self):
+        sp = SitePop(site_id=3, pop_id=None, link_rtt_ms=0.7)
+        assert sp.site_id == 3
+        assert sp.pop_id is None
+
+    def test_hashable_for_merging(self):
+        assert len({SitePop(1, 0, 0.5), SitePop(1, 0, 0.5)}) == 1

@@ -1,0 +1,84 @@
+"""Unit tests for Gao-Rexford import/export policies."""
+
+from repro.bgp.policy import (
+    LOCAL_PREF_CUSTOMER,
+    LOCAL_PREF_PEER,
+    LOCAL_PREF_PROVIDER,
+    export_targets,
+    local_pref_for,
+)
+from repro.topology.astopo import AS, ASGraph, Relationship
+from repro.topology.geo import city
+
+
+def star_graph():
+    """Center 1 with customer 2, peer 3, provider 4."""
+    g = ASGraph()
+    for asn, tier in ((1, 2), (2, 3), (3, 2), (4, 1)):
+        g.add_as(AS(asn=asn, tier=tier, location=city("London")))
+    g.add_link(1, 2, Relationship.CUSTOMER)
+    g.add_link(1, 3, Relationship.PEER)
+    g.add_link(1, 4, Relationship.PROVIDER)
+    return g
+
+
+class TestLocalPref:
+    def test_relationship_ordering(self):
+        assert LOCAL_PREF_CUSTOMER > LOCAL_PREF_PEER > LOCAL_PREF_PROVIDER
+
+    def test_standard_as_uses_relationship(self):
+        node = AS(asn=1, tier=2, location=city("London"))
+        assert local_pref_for(node, 2, Relationship.CUSTOMER) == LOCAL_PREF_CUSTOMER
+        assert local_pref_for(node, 3, Relationship.PEER) == LOCAL_PREF_PEER
+        assert local_pref_for(node, 4, Relationship.PROVIDER) == LOCAL_PREF_PROVIDER
+
+    def test_deviant_override(self):
+        node = AS(
+            asn=1, tier=2, location=city("London"),
+            policy_deviant=True, deviant_prefs={7: 42},
+        )
+        assert local_pref_for(node, 7, Relationship.PROVIDER) == 42
+
+    def test_deviant_falls_back_for_unknown_neighbor(self):
+        node = AS(
+            asn=1, tier=2, location=city("London"),
+            policy_deviant=True, deviant_prefs={7: 42},
+        )
+        assert local_pref_for(node, 9, Relationship.PEER) == LOCAL_PREF_PEER
+
+    def test_non_deviant_ignores_override_table(self):
+        node = AS(
+            asn=1, tier=2, location=city("London"), deviant_prefs={7: 42}
+        )
+        assert local_pref_for(node, 7, Relationship.PROVIDER) == LOCAL_PREF_PROVIDER
+
+
+class TestExportTargets:
+    def test_customer_route_to_everyone(self):
+        g = star_graph()
+        targets = export_targets(g, 1, Relationship.CUSTOMER, learned_from=2)
+        assert sorted(targets) == [3, 4]
+
+    def test_peer_route_to_customers_only(self):
+        g = star_graph()
+        targets = export_targets(g, 1, Relationship.PEER, learned_from=3)
+        assert targets == [2]
+
+    def test_provider_route_to_customers_only(self):
+        g = star_graph()
+        targets = export_targets(g, 1, Relationship.PROVIDER, learned_from=4)
+        assert targets == [2]
+
+    def test_never_exports_back_to_sender(self):
+        g = star_graph()
+        # Customer route from 2: everyone except 2.
+        assert 2 not in export_targets(g, 1, Relationship.CUSTOMER, learned_from=2)
+        # Peer/provider routes never reach peers/providers anyway.
+        assert 3 not in export_targets(g, 1, Relationship.PEER, learned_from=3)
+
+    def test_valley_free_composition(self):
+        # A route that traveled provider->customer can never flow back
+        # up: a customer learning from its provider exports only to its
+        # own customers, of which the star's center has none below AS 2.
+        g = star_graph()
+        assert export_targets(g, 2, Relationship.PROVIDER, learned_from=1) == []

@@ -1,0 +1,124 @@
+"""Tests for the CAIDA serial-1 AS-relationship loader."""
+
+import gzip
+
+import pytest
+
+from repro.bgp.engine import BGPEngine, SiteInjection
+from repro.topology.astopo import Relationship
+from repro.topology.caida import (
+    load_as_relationships,
+    load_as_relationships_file,
+    parse_relationship_lines,
+)
+from repro.util.errors import TopologyError
+
+SAMPLE = """\
+# a CAIDA-style relationship file
+# provider|customer|-1  /  peer|peer|0
+1|10|-1
+1|20|-1
+2|10|-1
+2|30|-1
+1|2|0
+10|100|-1
+20|200|-1
+30|300|-1
+"""
+
+
+class TestParsing:
+    def test_parses_triples(self):
+        triples = parse_relationship_lines(SAMPLE.splitlines())
+        assert (1, 10, -1) in triples
+        assert (1, 2, 0) in triples
+        assert len(triples) == 8
+
+    def test_skips_comments_and_blanks(self):
+        triples = parse_relationship_lines(["# x", "", "1|2|0"])
+        assert triples == [(1, 2, 0)]
+
+    def test_extra_columns_tolerated(self):
+        assert parse_relationship_lines(["1|2|0|bgp"]) == [(1, 2, 0)]
+
+    def test_malformed_rejected(self):
+        with pytest.raises(TopologyError):
+            parse_relationship_lines(["1|2"])
+        with pytest.raises(TopologyError):
+            parse_relationship_lines(["a|b|0"])
+        with pytest.raises(TopologyError):
+            parse_relationship_lines(["1|2|5"])
+        with pytest.raises(TopologyError):
+            parse_relationship_lines(["1|1|0"])
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(TopologyError):
+            load_as_relationships(["# only a comment"])
+
+
+class TestLoadedGraph:
+    @pytest.fixture(scope="class")
+    def internet(self):
+        return load_as_relationships(SAMPLE.splitlines(), seed=5)
+
+    def test_tiers_inferred(self, internet):
+        graph = internet.graph
+        assert graph.as_of(1).tier == 1   # no providers
+        assert graph.as_of(2).tier == 1
+        assert graph.as_of(10).tier == 2  # both providers and customers
+        assert graph.as_of(100).tier == 3  # no customers
+
+    def test_relationships_oriented(self, internet):
+        graph = internet.graph
+        assert graph.rel(10, 1) is Relationship.PROVIDER
+        assert graph.rel(1, 10) is Relationship.CUSTOMER
+        assert graph.rel(1, 2) is Relationship.PEER
+
+    def test_validates(self, internet):
+        internet.graph.validate()
+
+    def test_links_have_latencies_and_costs(self, internet):
+        for link in internet.graph.links():
+            assert link.rtt_ms > 0
+            assert link.prop_delay_ms > 0
+            assert link.a in link.igp_cost and link.b in link.igp_cost
+
+    def test_duplicate_rows_collapsed(self):
+        internet = load_as_relationships(["1|2|-1", "1|2|-1", "1|3|-1", "2|9|-1", "3|9|-1", "2|3|0"])
+        assert internet.graph.has_link(1, 2)
+
+    def test_deterministic(self):
+        a = load_as_relationships(SAMPLE.splitlines(), seed=5)
+        b = load_as_relationships(SAMPLE.splitlines(), seed=5)
+        for link in a.graph.links():
+            other = b.graph.link(link.a, link.b)
+            assert other.prop_delay_ms == link.prop_delay_ms
+
+
+class TestBgpOverLoadedTopology:
+    def test_anycast_announcement_propagates(self):
+        internet = load_as_relationships(SAMPLE.splitlines(), seed=5)
+        engine = BGPEngine(internet)
+        conv = engine.run([
+            SiteInjection(
+                host_asn=1, site_id=1, pop_id=None, link_rtt_ms=0.5,
+                rel_from_host=Relationship.CUSTOMER,
+            )
+        ])
+        for asn in internet.graph.asns():
+            assert conv.states[asn].best is not None
+
+
+class TestFileLoading:
+    def test_plain_file(self, tmp_path):
+        path = tmp_path / "rels.txt"
+        path.write_text(SAMPLE)
+        internet = load_as_relationships_file(path, seed=5)
+        assert len(internet.graph) == 8
+
+    def test_gzip_file(self, tmp_path):
+        path = tmp_path / "rels.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(SAMPLE)
+        internet = load_as_relationships_file(path, seed=5)
+        assert len(internet.graph) == 8

@@ -1,0 +1,174 @@
+"""End-to-end tests for the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_model, save_testbed
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory, testbed, anyopt_model):
+    """A saved testbed + model pair the CLI commands can chain on."""
+    root = tmp_path_factory.mktemp("cli")
+    testbed_path = root / "testbed.json"
+    model_path = root / "model.json"
+    save_testbed(testbed, testbed_path)
+    save_model(anyopt_model, model_path)
+    return str(testbed_path), str(model_path)
+
+
+class TestBuildTestbed:
+    def test_builds_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "tb.json"
+        code = main([
+            "build-testbed", "--seed", "3", "--stubs", "120",
+            "--tier2", "16", "--out", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        raw = json.loads(out.read_text())
+        assert raw["format"] == "anyopt-testbed"
+        assert "15 sites" in capsys.readouterr().out
+
+
+class TestDiscoverOptimizeEvaluate:
+    def test_discover(self, artifacts, tmp_path, capsys):
+        testbed_path, _ = artifacts
+        out = tmp_path / "model.json"
+        code = main([
+            "discover", "--testbed", testbed_path, "--seed", "7",
+            "--out", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "BGP experiments" in stdout
+        assert out.exists()
+
+    def test_optimize(self, artifacts, capsys):
+        testbed_path, model_path = artifacts
+        code = main([
+            "optimize", "--testbed", testbed_path, "--model", model_path,
+            "--seed", "7", "--size", "4",
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "predicted mean RTT" in stdout
+        sites_line = next(
+            l for l in stdout.splitlines() if "sites (announce order)" in l
+        )
+        assert len(sites_line.split(":")[1].split(",")) == 4
+
+    def test_optimize_greedy_strategy(self, artifacts, capsys):
+        testbed_path, model_path = artifacts
+        code = main([
+            "optimize", "--testbed", testbed_path, "--model", model_path,
+            "--seed", "7", "--strategy", "greedy",
+        ])
+        assert code == 0
+        assert "greedy" in capsys.readouterr().out
+
+    def test_evaluate(self, artifacts, capsys):
+        testbed_path, model_path = artifacts
+        code = main([
+            "evaluate", "--testbed", testbed_path, "--model", model_path,
+            "--seed", "7", "--sites", "1,4,6",
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "catchment accuracy" in stdout
+        assert "measured mean RTT" in stdout
+
+
+class TestCatchmentAndPeers:
+    def test_catchment_bars(self, artifacts, capsys):
+        testbed_path, _ = artifacts
+        code = main([
+            "catchment", "--testbed", testbed_path, "--seed", "7",
+            "--sites", "1,6",
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "site 1" in stdout and "site 6" in stdout
+
+    def test_catchment_chart(self, artifacts, capsys):
+        testbed_path, _ = artifacts
+        code = main([
+            "catchment", "--testbed", testbed_path, "--seed", "7",
+            "--sites", "1,6", "--chart",
+        ])
+        assert code == 0
+        assert "RTT CDF" in capsys.readouterr().out
+
+    def test_peers(self, artifacts, capsys):
+        testbed_path, _ = artifacts
+        code = main([
+            "peers", "--testbed", testbed_path, "--seed", "7",
+            "--sites", "1,4,6", "--max-peers", "5",
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "probed 5 peers" in stdout
+        assert "baseline mean RTT" in stdout
+
+
+class TestStabilityAndExplain:
+    def test_stability(self, artifacts, capsys):
+        testbed_path, _ = artifacts
+        code = main([
+            "stability", "--testbed", testbed_path, "--seed", "7",
+            "--sites", "1,4,6", "--epochs", "2",
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "unchanged catchments" in stdout
+        assert "verdict:" in stdout
+
+    def test_explain(self, artifacts, testbed, targets, capsys):
+        testbed_path, _ = artifacts
+        client = targets[0].asn
+        code = main([
+            "explain", "--testbed", testbed_path, "--seed", "7",
+            "--sites", "1,6", "--client", str(client),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "reaches site" in stdout
+        assert f"AS {client}" in stdout
+
+    def test_explain_unroutable_client_errors(self, artifacts, capsys):
+        testbed_path, _ = artifacts
+        code = main([
+            "explain", "--testbed", testbed_path, "--seed", "7",
+            "--sites", "1,6", "--client", "55",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestPlan:
+    def test_paper_numbers(self, capsys):
+        code = main(["plan", "--sites", "500", "--providers", "20"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "500" in stdout and "380" in stdout
+        assert "2^500" in stdout
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        code = main([
+            "discover", "--testbed", "/nonexistent.json",
+            "--out", "/tmp/x.json",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_site_list(self):
+        with pytest.raises(SystemExit):
+            main(["catchment", "--testbed", "x", "--sites", "1,a,3"])
+
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])

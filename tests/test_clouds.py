@@ -1,0 +1,107 @@
+"""Tests for multi-prefix anycast clouds and delegation sets (S2.2)."""
+
+import pytest
+
+from repro.core.clouds import CloudPlan, plan_clouds
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def plan(anyopt_model, targets):
+    return plan_clouds(
+        anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+        n_clouds=4, sites_per_cloud=5, seed=3,
+    )
+
+
+class TestPlanClouds:
+    def test_cloud_count_and_sizes(self, plan):
+        assert len(plan.clouds) == 4
+        for cloud in plan.clouds:
+            assert len(cloud.config.site_order) == 5
+
+    def test_clouds_are_diverse(self, plan):
+        """The straggler re-weighting should produce at least two
+        distinct site subsets."""
+        subsets = {cloud.config.sites for cloud in plan.clouds}
+        assert len(subsets) >= 2
+
+    def test_predicted_rtts_cover_prefixes(self, plan, targets):
+        some = plan.predicted_rtts[targets[0].target_id]
+        assert set(some) == {0, 1, 2, 3}
+
+    def test_later_clouds_help_stragglers(self, plan, anyopt_model, targets):
+        """Adding clouds never hurts and strictly helps some clients
+        under the 'best' resolver policy."""
+        improved = 0
+        comparable = 0
+        for t in targets:
+            first = plan.delegation_latency(t.target_id, [0], policy="best")
+            all_clouds = plan.delegation_latency(
+                t.target_id, plan.prefix_ids(), policy="best"
+            )
+            if first is None or all_clouds is None:
+                continue
+            comparable += 1
+            assert all_clouds <= first + 1e-9
+            if all_clouds < first - 1e-9:
+                improved += 1
+        assert comparable > 0
+        assert improved > 0
+
+    def test_invalid_params(self, anyopt_model, targets):
+        with pytest.raises(ConfigurationError):
+            plan_clouds(
+                anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+                n_clouds=0, sites_per_cloud=5,
+            )
+        with pytest.raises(ConfigurationError):
+            plan_clouds(
+                anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+                n_clouds=2, sites_per_cloud=99,
+            )
+
+
+class TestDelegation:
+    def test_best_policy_not_worse_than_uniform(self, plan, targets):
+        for t in list(targets)[:50]:
+            best = plan.delegation_latency(t.target_id, [0, 1, 2], policy="best")
+            uniform = plan.delegation_latency(t.target_id, [0, 1, 2], policy="uniform")
+            if best is not None and uniform is not None:
+                assert best <= uniform + 1e-9
+
+    def test_unknown_policy_rejected(self, plan, targets):
+        with pytest.raises(ConfigurationError):
+            plan.delegation_latency(targets[0].target_id, [0], policy="magic")
+
+    def test_unknown_client_none(self, plan):
+        assert plan.delegation_latency(10**9, [0]) is None
+
+    def test_choose_delegation_set_size(self, plan, targets):
+        resolvers = [t.target_id for t in list(targets)[:40]]
+        chosen = plan.choose_delegation_set(resolvers, set_size=2)
+        assert len(chosen) == 2
+        assert len(set(chosen)) == 2
+
+    def test_greedy_set_beats_random_pair(self, plan, targets):
+        resolvers = [t.target_id for t in list(targets)[:60]]
+        chosen = plan.choose_delegation_set(resolvers, set_size=2, policy="best")
+        chosen_score = plan._mean_delegation(resolvers, list(chosen), "best")
+        worst = max(
+            plan._mean_delegation(resolvers, [a, b], "best")
+            for a in plan.prefix_ids()
+            for b in plan.prefix_ids()
+            if a < b
+        )
+        assert chosen_score <= worst + 1e-9
+
+    def test_set_size_bounds(self, plan, targets):
+        with pytest.raises(ConfigurationError):
+            plan.choose_delegation_set([targets[0].target_id], set_size=0)
+        with pytest.raises(ConfigurationError):
+            plan.choose_delegation_set([targets[0].target_id], set_size=99)
+
+    def test_cloud_lookup(self, plan):
+        assert plan.cloud(0).prefix_id == 0
+        with pytest.raises(ConfigurationError):
+            plan.cloud(42)

@@ -1,0 +1,80 @@
+"""Tests for catchment diffs between deployments."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import AnycastConfig
+from repro.core.diffs import CatchmentDiff, ClientMove, diff_deployments
+from repro.util.errors import ReproError
+
+
+class TestDiffDeployments:
+    def test_identical_configs_mostly_unchanged(self, clean_orchestrator, testbed):
+        a = clean_orchestrator.deploy(AnycastConfig(site_order=(1, 6)))
+        b = clean_orchestrator.deploy(AnycastConfig(site_order=(1, 6)))
+        diff = diff_deployments(a, b)
+        # Only multipath rehash can move anyone in a churn-free world.
+        assert diff.moved_fraction < 0.05
+        assert diff.unmapped == 0
+
+    def test_site_change_moves_its_catchment(self, clean_orchestrator, targets):
+        a = clean_orchestrator.deploy(AnycastConfig(site_order=(1, 6)))
+        b = clean_orchestrator.deploy(AnycastConfig(site_order=(6,)))
+        diff = diff_deployments(a, b)
+        # Everyone who was on site 1 must have moved to site 6.
+        site1_before = sum(
+            1
+            for t in targets
+            if a.forwarding(t) is not None and a.forwarding(t).site_id == 1
+        )
+        moves_1_to_6 = diff.flows().get((1, 6), 0)
+        assert moves_1_to_6 >= site1_before - 3  # minus multipath noise
+
+    def test_moves_have_rtts(self, clean_orchestrator):
+        a = clean_orchestrator.deploy(AnycastConfig(site_order=(1, 6)))
+        b = clean_orchestrator.deploy(AnycastConfig(site_order=(6,)))
+        diff = diff_deployments(a, b)
+        assert diff.moves
+        for move in diff.moves[:20]:
+            assert move.rtt_before_ms is not None
+            assert move.rtt_after_ms is not None
+            assert move.rtt_delta_ms == pytest.approx(
+                move.rtt_after_ms - move.rtt_before_ms
+            )
+        # Shrinking a deployment cannot reduce mean latency for movers.
+        assert diff.mean_rtt_delta_ms() > 0
+
+    def test_counts_partition_targets(self, clean_orchestrator, targets):
+        a = clean_orchestrator.deploy(AnycastConfig(site_order=(1, 6)))
+        b = clean_orchestrator.deploy(AnycastConfig(site_order=(4,)))
+        diff = diff_deployments(a, b)
+        assert diff.unchanged + len(diff.moves) + diff.unmapped == len(targets)
+
+
+class TestCatchmentDiffHelpers:
+    def test_empty_diff(self):
+        diff = CatchmentDiff(total_targets=0)
+        assert diff.moved_fraction == 0.0
+        assert diff.flows() == {}
+        with pytest.raises(ReproError):
+            diff.mean_rtt_delta_ms()
+
+    def test_client_move_delta_none_when_missing(self):
+        move = ClientMove(1, 100000, 1, 2, None, 50.0)
+        assert move.rtt_delta_ms is None
+
+
+class TestCliDiff:
+    def test_diff_command(self, testbed, anyopt_model, tmp_path, capsys):
+        from repro.io import save_testbed
+
+        path = tmp_path / "tb.json"
+        save_testbed(testbed, path)
+        code = main([
+            "diff", "--testbed", str(path), "--seed", "7",
+            "--before", "1,6", "--after", "6",
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "moved" in stdout
+        assert "from site" in stdout

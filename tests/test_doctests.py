@@ -1,0 +1,25 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.preferences
+import repro.report.text
+import repro.topology.geo
+import repro.util.rng
+import repro.util.stats
+
+MODULES = [
+    repro.core.preferences,
+    repro.report.text,
+    repro.topology.geo,
+    repro.util.rng,
+    repro.util.stats,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"

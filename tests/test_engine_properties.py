@@ -1,0 +1,161 @@
+"""Property-based invariants of the BGP engine on random topologies.
+
+For arbitrary generated Internets and injection patterns, converged
+state must satisfy: loop-free AS paths, valley-free routing, universal
+reachability under tier-1 customer injections, origin-terminated
+paths, and determinism.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.engine import ANYCAST_ORIGIN_ASN, BGPEngine, SiteInjection
+from repro.topology.astopo import Relationship
+from repro.topology.generator import TopologyParams, generate_internet
+
+SETTINGS = dict(max_examples=20, deadline=None)
+
+
+@st.composite
+def internets(draw):
+    params = TopologyParams(
+        n_tier1=draw(st.integers(min_value=2, max_value=5)),
+        n_tier2=draw(st.integers(min_value=2, max_value=8)),
+        n_stub=draw(st.integers(min_value=5, max_value=30)),
+        tier1_pop_min=2,
+        tier1_pop_max=4,
+        multipath_fraction=draw(st.sampled_from([0.0, 0.1])),
+        policy_deviant_fraction=draw(st.sampled_from([0.0, 0.1])),
+        igp_tie_fraction=draw(st.sampled_from([0.0, 0.3])),
+    )
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return generate_internet(params, seed=seed)
+
+
+@st.composite
+def internets_with_injections(draw):
+    internet = draw(internets())
+    tier1 = internet.graph.tier1_asns()
+    count = draw(st.integers(min_value=1, max_value=min(3, len(tier1))))
+    hosts = draw(
+        st.lists(st.sampled_from(tier1), min_size=count, max_size=count, unique=True)
+    )
+    injections = []
+    for idx, host in enumerate(hosts):
+        net = internet.pop_network(host)
+        injections.append(
+            SiteInjection(
+                host_asn=host,
+                site_id=idx + 1,
+                pop_id=draw(st.integers(min_value=0, max_value=net.pop_count - 1)),
+                link_rtt_ms=1.0,
+                rel_from_host=Relationship.CUSTOMER,
+                announce_time_ms=idx * draw(st.sampled_from([0.0, 1000.0, 360000.0])),
+            )
+        )
+    return internet, injections
+
+
+class TestEngineInvariants:
+    @given(internets_with_injections())
+    @settings(**SETTINGS)
+    def test_paths_loop_free(self, data):
+        internet, injections = data
+        conv = BGPEngine(internet).run(injections)
+        for state in conv.states.values():
+            if state.best is not None:
+                path = state.best.as_path
+                assert len(path) == len(set(path))
+
+    @given(internets_with_injections())
+    @settings(**SETTINGS)
+    def test_paths_end_at_origin(self, data):
+        internet, injections = data
+        conv = BGPEngine(internet).run(injections)
+        for state in conv.states.values():
+            if state.best is not None:
+                assert state.best.origin_asn == ANYCAST_ORIGIN_ASN
+
+    @given(internets_with_injections())
+    @settings(**SETTINGS)
+    def test_universal_reachability(self, data):
+        """A customer route injected at any tier-1 reaches every AS
+        (tier-1 clique + provider chains guarantee it)."""
+        internet, injections = data
+        conv = BGPEngine(internet).run(injections)
+        for asn in internet.graph.asns():
+            assert conv.states[asn].best is not None, f"AS {asn} unreachable"
+
+    @given(internets_with_injections())
+    @settings(**SETTINGS)
+    def test_valley_free(self, data):
+        internet, injections = data
+        graph = internet.graph
+        conv = BGPEngine(internet).run(injections)
+        for asn, state in conv.states.items():
+            if state.best is None or state.best.is_injected():
+                continue
+            hops = (asn,) + state.best.as_path[:-1]
+            descending = False
+            for cur, nxt in zip(hops, hops[1:]):
+                rel = graph.rel(cur, nxt)
+                if descending:
+                    assert rel is Relationship.CUSTOMER, (
+                        f"valley in path of AS {asn}: {hops}"
+                    )
+                elif rel is Relationship.CUSTOMER:
+                    descending = True
+
+    @given(internets_with_injections())
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic_reconvergence(self, data):
+        internet, injections = data
+        a = BGPEngine(internet).run(injections)
+        b = BGPEngine(internet).run(injections)
+        for asn in internet.graph.asns():
+            ra, rb = a.states[asn].best, b.states[asn].best
+            assert (ra is None) == (rb is None)
+            if ra is not None:
+                assert ra.as_path == rb.as_path
+                assert ra.arrival_time == rb.arrival_time
+
+    @given(internets_with_injections())
+    @settings(max_examples=10, deadline=None)
+    def test_adj_rib_in_paths_avoid_self(self, data):
+        internet, injections = data
+        conv = BGPEngine(internet).run(injections)
+        for asn, state in conv.states.items():
+            for route in state.routes():
+                assert asn not in route.as_path
+
+    @given(internets_with_injections())
+    @settings(max_examples=10, deadline=None)
+    def test_dataplane_terminates_at_injection_host(self, data):
+        """Every forwarded flow ends at an AS holding an injected
+        route, with a positive accumulated RTT."""
+        from repro.bgp.dataplane import DataPlane
+
+        internet, injections = data
+        hosts = {inj.host_asn for inj in injections}
+        conv = BGPEngine(internet).run(injections)
+        dp = DataPlane(internet, conv)
+        for asn in internet.graph.client_asns():
+            outcome = dp.forward(asn, asn)
+            assert outcome is not None
+            assert outcome.terminating_asn in hosts
+            assert outcome.rtt_ms >= 0.0
+            assert outcome.as_path[0] == asn
+
+    @given(internets_with_injections())
+    @settings(max_examples=10, deadline=None)
+    def test_multipath_set_contains_best(self, data):
+        internet, injections = data
+        conv = BGPEngine(internet).run(injections)
+        for state in conv.states.values():
+            if state.best is not None and state.multipath:
+                # The strictly-best route always survives the
+                # equal-cost filter.
+                keys = {
+                    (r.learned_from, r.as_path) for r in state.multipath
+                }
+                assert (state.best.learned_from, state.best.as_path) in keys

@@ -1,0 +1,74 @@
+"""Smoke tests: every example script runs to completion.
+
+Run with reduced topology sizes where the script exposes a knob, so
+the whole file stays CI-friendly.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=420):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--stubs", "150", "--seed", "3")
+        assert "catchment prediction accuracy" in out
+        assert "AnyOpt-12" in out
+
+    def test_peering_strategy(self):
+        out = run_example(
+            "peering_strategy.py", "--stubs", "150", "--peers", "10", "--seed", "3"
+        )
+        assert "beneficial" in out
+        assert "measured  mean RTT" in out
+
+    def test_what_if_analysis(self):
+        out = run_example("what_if_analysis.py", "--seed", "3")
+        assert "Deploying predicted best candidate" in out
+        assert "inference" in out
+
+    def test_traffic_engineering(self):
+        out = run_example("traffic_engineering.py", "--seed", "3")
+        assert "Draining Atlanta" in out
+
+    def test_ddos_failover(self):
+        out = run_example("ddos_failover.py", "--seed", "3")
+        assert "under attack" in out
+        assert "Withdrawing site" in out
+
+    @pytest.mark.slow
+    def test_dns_provider(self):
+        out = run_example("dns_provider.py", "--seed", "3")
+        assert "Measurement budget" in out
+
+    @pytest.mark.slow
+    def test_multi_prefix_dns(self):
+        out = run_example("multi_prefix_dns.py", "--seed", "3")
+        assert "Delegation sets" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "plan", "--sites", "100", "--providers", "10"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "singleton" in result.stdout

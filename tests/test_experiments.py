@@ -1,0 +1,89 @@
+"""Tests for singleton/pairwise experiment drivers."""
+
+import pytest
+
+from repro.core.experiments import ExperimentRunner
+from repro.core.preferences import PreferenceOutcome
+from repro.util.errors import ConfigurationError
+
+
+class TestSingleton:
+    def test_rtts_and_catchment(self, clean_runner, targets):
+        result = clean_runner.run_singleton(1)
+        assert result.site_id == 1
+        assert set(result.rtts) == {t.target_id for t in targets}
+        mapped = {s for s in result.catchment.mapping.values() if s is not None}
+        assert mapped == {1}
+
+    def test_counts_one_experiment(self, clean_runner):
+        before = clean_runner.experiment_count
+        clean_runner.run_singleton(4)
+        assert clean_runner.experiment_count - before == 1
+
+
+class TestPairwise:
+    def test_same_site_rejected(self, clean_runner):
+        with pytest.raises(ConfigurationError):
+            clean_runner.run_pairwise(1, 1)
+        with pytest.raises(ConfigurationError):
+            clean_runner.run_pairwise_simultaneous(1, 1)
+
+    def test_two_experiments_used(self, clean_runner):
+        before = clean_runner.experiment_count
+        clean_runner.run_pairwise(1, 6)
+        assert clean_runner.experiment_count - before == 2
+
+    def test_simultaneous_uses_one(self, clean_runner):
+        before = clean_runner.experiment_count
+        clean_runner.run_pairwise_simultaneous(1, 6)
+        assert clean_runner.experiment_count - before == 1
+
+    def test_winners_are_from_the_pair(self, clean_runner, targets):
+        result = clean_runner.run_pairwise(1, 6)
+        for t in list(targets)[:50]:
+            obs = result.observation(t.target_id)
+            for w in (obs.winner_a_first, obs.winner_b_first):
+                assert w in (1, 6, None)
+
+    def test_most_clients_strict_under_clean_conditions(self, clean_runner, targets):
+        result = clean_runner.run_pairwise(1, 6)
+        outcomes = [result.observation(t.target_id).outcome() for t in targets]
+        strict = sum(
+            1
+            for o in outcomes
+            if o in (PreferenceOutcome.STRICT_A, PreferenceOutcome.STRICT_B)
+        )
+        assert strict / len(outcomes) > 0.6
+
+    def test_order_dependent_clients_exist(self, clean_runner, targets):
+        """Some clients flip with announcement order (Figure 4a)."""
+        result = clean_runner.run_pairwise(1, 6)
+        flips = sum(result.order_changed(t.target_id) for t in targets)
+        assert flips > 0
+
+    def test_order_changed_consistent_with_outcome(self, clean_runner, targets):
+        result = clean_runner.run_pairwise(1, 4)
+        for t in list(targets)[:80]:
+            obs = result.observation(t.target_id)
+            if result.order_changed(t.target_id):
+                assert obs.outcome() in (
+                    PreferenceOutcome.ORDER_DEPENDENT,
+                    PreferenceOutcome.INCONSISTENT,
+                )
+
+
+class TestPairwiseSweep:
+    def test_sweep_covers_all_pairs(self, clean_runner, targets):
+        matrix = clean_runner.pairwise_sweep([1, 4, 6])
+        assert len(matrix.pairs()) == 3
+        some_client = targets[0].target_id
+        for a, b in ((1, 4), (1, 6), (4, 6)):
+            assert matrix.observation(some_client, a, b) is not None
+
+    def test_sweep_experiment_budget(self, clean_runner):
+        before = clean_runner.experiment_count
+        clean_runner.pairwise_sweep([1, 4, 6], ordered=True)
+        assert clean_runner.experiment_count - before == 6  # 3 pairs x 2 orders
+        before = clean_runner.experiment_count
+        clean_runner.pairwise_sweep([1, 4, 6], ordered=False)
+        assert clean_runner.experiment_count - before == 3

@@ -1,0 +1,134 @@
+"""Tests for the catchment explainer."""
+
+import pytest
+
+from repro.bgp import explain_catchment
+from repro.core.config import AnycastConfig
+from repro.util.errors import ReproError
+
+
+@pytest.fixture()
+def deployment(clean_orchestrator):
+    return clean_orchestrator.deploy(AnycastConfig(site_order=(1, 6, 7)))
+
+
+class TestWinningStep:
+    def make(self, **kwargs):
+        from repro.bgp.messages import Route
+
+        defaults = dict(
+            prefix="192.0.2.0/24", as_path=(10, 65000), learned_from=10,
+            local_pref=100,
+        )
+        defaults.update(kwargs)
+        return Route(**defaults)
+
+    def node(self, tiebreak=True):
+        from repro.topology.astopo import AS
+        from repro.topology.geo import city
+
+        return AS(asn=1, tier=2, location=city("London"),
+                  arrival_order_tiebreak=tiebreak)
+
+    def step(self, chosen, loser, tiebreak=True):
+        from repro.bgp.explain import _winning_step
+
+        return _winning_step(chosen, loser, self.node(tiebreak))
+
+    def test_each_criterion_named(self):
+        base = self.make()
+        assert "local preference" in self.step(
+            self.make(local_pref=300), base
+        )
+        assert "AS-path length" in self.step(
+            base, self.make(as_path=(10, 11, 65000))
+        )
+        assert "MED" in self.step(base, self.make(med=5, learned_from=11))
+        assert "interior cost" in self.step(
+            base, self.make(interior_cost=9, learned_from=11)
+        )
+        assert "arrival order" in self.step(
+            base, self.make(arrival_time=99.0, learned_from=11)
+        )
+        assert "neighbor id" in self.step(
+            base, self.make(learned_from=11)
+        )
+
+    def test_arrival_skipped_when_disabled(self):
+        base = self.make()
+        other = self.make(arrival_time=99.0, learned_from=11)
+        assert "neighbor id" in self.step(base, other, tiebreak=False)
+
+
+class TestExplainCatchment:
+    def test_narrative_matches_forwarding(self, deployment, testbed, targets):
+        for t in list(targets)[:20]:
+            outcome = deployment.forwarding(t)
+            text = explain_catchment(
+                testbed.internet, deployment.converged, t.asn,
+                flow_key=t.target_id,
+                flow_nonce=deployment.experiment_id,
+            )
+            assert f"reaches site {outcome.site_id}" in text
+            assert f"AS {t.asn}" in text
+
+    def test_every_hop_mentioned(self, deployment, testbed, targets):
+        t = targets[0]
+        outcome = deployment.forwarding(t)
+        text = explain_catchment(
+            testbed.internet, deployment.converged, t.asn,
+            flow_key=t.target_id, flow_nonce=deployment.experiment_id,
+        )
+        for hop in outcome.as_path:
+            assert f"AS {hop}:" in text
+
+    def test_names_a_decision_step(self, deployment, testbed, targets):
+        steps = (
+            "local preference", "AS-path length", "MED", "interior cost",
+            "arrival order", "neighbor id", "only route",
+        )
+        named = 0
+        for t in list(targets)[:30]:
+            text = explain_catchment(
+                testbed.internet, deployment.converged, t.asn,
+                flow_key=t.target_id, flow_nonce=deployment.experiment_id,
+            )
+            if any(step in text for step in steps):
+                named += 1
+        assert named == 30
+
+    def test_hot_potato_mentioned_for_shared_provider(
+        self, clean_orchestrator, testbed, targets
+    ):
+        """Tokyo and Osaka share NTT: some flow's narrative includes
+        the hot-potato intra-AS selection."""
+        dep = clean_orchestrator.deploy(AnycastConfig(site_order=(6, 7)))
+        mentions = 0
+        for t in list(targets)[:60]:
+            text = explain_catchment(
+                testbed.internet, dep.converged, t.asn,
+                flow_key=t.target_id, flow_nonce=dep.experiment_id,
+            )
+            if "hot-potato" in text:
+                mentions += 1
+        assert mentions > 0
+
+    def test_unreachable_raises(self, testbed, targets, clean_orchestrator):
+        from repro.bgp.engine import BGPEngine, SiteInjection
+        from repro.topology.astopo import Relationship
+
+        link = next(iter(testbed.peer_links.values()))
+        conv = BGPEngine(testbed.internet).run([
+            SiteInjection(
+                host_asn=link.peer_asn, site_id=link.site_id,
+                pop_id=None, link_rtt_ms=link.link_rtt_ms,
+                rel_from_host=Relationship.PEER,
+            )
+        ])
+        unreachable = next(
+            a
+            for a in testbed.internet.graph.client_asns()
+            if conv.states[a].best is None
+        )
+        with pytest.raises(ReproError):
+            explain_catchment(testbed.internet, conv, unreachable)

@@ -1,0 +1,89 @@
+"""Unit tests for geography and the latency model."""
+
+import pytest
+
+from repro.topology.geo import (
+    CITIES,
+    GeoPoint,
+    city,
+    great_circle_km,
+    propagation_rtt_ms,
+)
+
+
+class TestGeoPoint:
+    def test_valid(self):
+        p = GeoPoint(10.0, 20.0, "x")
+        assert p.lat == 10.0
+
+    def test_latitude_bounds(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+
+    def test_longitude_bounds(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, -181.0)
+
+
+class TestCityCatalog:
+    def test_all_testbed_cities_present(self):
+        for name in (
+            "Atlanta", "Amsterdam", "Los Angeles", "Singapore", "London",
+            "Tokyo", "Osaka", "Miami", "Newark", "Stockholm", "Toronto",
+            "Sao Paulo", "Chicago",
+        ):
+            assert name in CITIES
+
+    def test_lookup(self):
+        assert city("London").name == "London"
+
+    def test_unknown_city_raises(self):
+        with pytest.raises(KeyError):
+            city("Atlantis")
+
+    def test_catalog_is_reasonably_global(self):
+        lats = [p.lat for p in CITIES.values()]
+        assert min(lats) < -20 and max(lats) > 50
+
+
+class TestGreatCircle:
+    def test_zero_distance(self):
+        assert great_circle_km(city("London"), city("London")) == 0.0
+
+    def test_symmetry(self):
+        a, b = city("Tokyo"), city("Miami")
+        assert great_circle_km(a, b) == pytest.approx(great_circle_km(b, a))
+
+    def test_known_distance_ny_london(self):
+        km = great_circle_km(city("New York"), city("London"))
+        assert 5400 < km < 5750
+
+    def test_antipodal_bounded(self):
+        # No two points can exceed half the earth's circumference.
+        km = great_circle_km(GeoPoint(0, 0), GeoPoint(0, 180))
+        assert km == pytest.approx(3.14159265 * 6371.0, rel=1e-3)
+
+    def test_triangle_inequality(self):
+        a, b, c = city("Paris"), city("Dubai"), city("Sydney")
+        assert great_circle_km(a, c) <= (
+            great_circle_km(a, b) + great_circle_km(b, c) + 1e-6
+        )
+
+
+class TestPropagationRtt:
+    def test_transatlantic_band(self):
+        rtt = propagation_rtt_ms(city("New York"), city("London"))
+        assert 60 < rtt < 90
+
+    def test_scales_with_stretch(self):
+        a, b = city("Tokyo"), city("Singapore")
+        assert propagation_rtt_ms(a, b, stretch=2.0) == pytest.approx(
+            2 * propagation_rtt_ms(a, b, stretch=1.0)
+        )
+
+    def test_zero_for_same_point(self):
+        assert propagation_rtt_ms(city("Oslo"), city("Oslo")) == 0.0
+
+    def test_invalid_stretch(self):
+        with pytest.raises(ValueError):
+            propagation_rtt_ms(city("Oslo"), city("Paris"), stretch=0.0)

@@ -1,0 +1,76 @@
+"""End-to-end pipeline test: the full S4.5 workflow on one testbed.
+
+Runs measure -> model -> optimize -> deploy -> validate -> peers and
+checks the paper's qualitative claims hold on the simulated Internet:
+the optimized configuration beats the greedy and random baselines, and
+beneficial peers nudge the mean RTT down.
+"""
+
+import pytest
+
+from repro.baselines import (
+    all_sites_config,
+    greedy_unicast_config,
+    random_small_config,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline(anyopt, anyopt_model):
+    """The optimized 12-site configuration and its evaluation."""
+    report = anyopt.optimize(anyopt_model, sizes=[12])
+    evaluation = anyopt.evaluate(anyopt_model, report.best_config)
+    return report, evaluation
+
+
+class TestOptimizedConfiguration:
+    def test_twelve_sites(self, pipeline):
+        report, _ = pipeline
+        assert len(report.best_config.site_order) == 12
+
+    def test_prediction_validates(self, pipeline):
+        _, evaluation = pipeline
+        assert evaluation.accuracy > 0.9
+        assert evaluation.rel_rtt_error < 0.15
+
+    def test_beats_greedy_unicast(self, anyopt, anyopt_model, pipeline):
+        """The S5.3 headline: AnyOpt's 12-site configuration has a
+        lower measured mean RTT than greedy-by-unicast with the same
+        site count."""
+        report, evaluation = pipeline
+        greedy = greedy_unicast_config(anyopt_model.rtt_matrix, 12)
+        greedy_rtt = anyopt.deploy(greedy).measure_mean_rtt()
+        assert evaluation.measured_mean_rtt < greedy_rtt
+
+    def test_beats_enable_everything(self, anyopt, anyopt_model, pipeline):
+        """More sites is not better: 15-all underperforms AnyOpt-12."""
+        report, evaluation = pipeline
+        all_rtt = anyopt.deploy(all_sites_config(anyopt.testbed)).measure_mean_rtt()
+        assert evaluation.measured_mean_rtt < all_rtt
+
+    def test_beats_small_random(self, anyopt, anyopt_model, pipeline):
+        report, evaluation = pipeline
+        best_random = min(
+            anyopt.deploy(
+                random_small_config(anyopt.testbed, seed=100 + i)
+            ).measure_mean_rtt()
+            for i in range(3)
+        )
+        assert evaluation.measured_mean_rtt < best_random
+
+
+class TestPeerPipeline:
+    def test_one_pass_improves_or_holds(self, anyopt, pipeline):
+        report, _ = pipeline
+        peer_report = anyopt.incorporate_peers(
+            report.best_config, peer_ids=anyopt.testbed.peer_ids()[:30]
+        )
+        if peer_report.selected_peers:
+            assert (
+                peer_report.estimated_final_mean_rtt_ms
+                < peer_report.base_mean_rtt_ms
+            )
+        # The measured final configuration should not be dramatically
+        # worse than the transit-only baseline (the heuristic is
+        # conservative by design).
+        assert peer_report.final_mean_rtt_ms < peer_report.base_mean_rtt_ms * 1.1

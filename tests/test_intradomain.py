@@ -1,0 +1,110 @@
+"""Unit tests for PoP backbones and IGP distances."""
+
+import random
+
+import pytest
+
+from repro.topology.geo import city
+from repro.topology.intradomain import PopNetwork
+from repro.util.errors import TopologyError
+
+
+def backbone(cities, seed=1):
+    return PopNetwork(99, [city(c) for c in cities], random.Random(seed))
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            PopNetwork(1, [], random.Random(0))
+
+    def test_single_pop(self):
+        net = backbone(["London"])
+        assert net.pop_count == 1
+        assert net.igp_km(0, 0) == 0.0
+
+    def test_pop_count(self):
+        net = backbone(["London", "Paris", "Madrid", "Oslo"])
+        assert net.pop_count == 4
+
+
+class TestIgpDistances:
+    def test_self_distance_zero(self):
+        net = backbone(["London", "Paris", "Tokyo"])
+        for i in range(3):
+            assert net.igp_km(i, i) == 0.0
+
+    def test_symmetry(self):
+        net = backbone(["London", "Paris", "Tokyo", "Miami", "Sydney"])
+        for i in range(5):
+            for j in range(5):
+                assert net.igp_km(i, j) == pytest.approx(net.igp_km(j, i))
+
+    def test_at_least_great_circle(self):
+        from repro.topology.geo import great_circle_km
+
+        cities = ["London", "Paris", "Tokyo", "Miami", "Sydney", "Lagos"]
+        net = backbone(cities)
+        for i in range(len(cities)):
+            for j in range(len(cities)):
+                assert net.igp_km(i, j) >= great_circle_km(
+                    city(cities[i]), city(cities[j])
+                ) - 1e-6
+
+    def test_triangle_inequality(self):
+        cities = ["London", "Paris", "Tokyo", "Miami", "Sydney", "Lagos", "Delhi"]
+        net = backbone(cities)
+        n = len(cities)
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert net.igp_km(i, j) <= (
+                        net.igp_km(i, k) + net.igp_km(k, j) + 1e-6
+                    )
+
+    def test_rtt_scales_with_distance(self):
+        net = backbone(["London", "Paris", "Tokyo"])
+        km = net.igp_km(0, 2)
+        assert net.igp_rtt_ms(0, 2) == pytest.approx(2 * km * 1.3 / 200.0)
+
+    def test_pop_out_of_range(self):
+        net = backbone(["London", "Paris"])
+        with pytest.raises(TopologyError):
+            net.igp_km(0, 5)
+
+
+class TestNearestPop:
+    def test_exact_city(self):
+        cities = ["London", "Tokyo", "Miami"]
+        net = backbone(cities)
+        for i, c in enumerate(cities):
+            assert net.nearest_pop(city(c)) == i
+
+    def test_nearby_city(self):
+        net = backbone(["London", "Tokyo"])
+        # Paris is far closer to London than Tokyo.
+        assert net.pop_location(net.nearest_pop(city("Paris"))).name == "London"
+
+
+class TestHotPotato:
+    def test_closest_pop_of_prefers_self(self):
+        net = backbone(["London", "Paris", "Tokyo"])
+        assert net.closest_pop_of(0, [0, 2]) == 0
+
+    def test_closest_pop_of_ties_break_low_id(self):
+        net = backbone(["London", "Paris"])
+        # Candidates at identical distance: the same pop twice cannot
+        # happen, but equidistant candidates break on id.
+        assert net.closest_pop_of(0, [1, 1]) == 1
+
+    def test_empty_candidates_raise(self):
+        net = backbone(["London", "Paris"])
+        with pytest.raises(TopologyError):
+            net.closest_pop_of(0, [])
+
+    def test_determinism(self):
+        a = backbone(["London", "Paris", "Tokyo", "Miami"], seed=3)
+        b = backbone(["London", "Paris", "Tokyo", "Miami"], seed=3)
+        for i in range(4):
+            for j in range(4):
+                assert a.igp_km(i, j) == b.igp_km(i, j)

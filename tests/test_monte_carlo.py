@@ -1,0 +1,71 @@
+"""Tests for the Monte-Carlo search baseline."""
+
+import pytest
+
+from repro.baselines import monte_carlo_search
+from repro.core.optimizer import search_configurations
+from repro.util.errors import ConfigurationError
+
+
+class TestMonteCarlo:
+    def test_returns_valid_config(self, anyopt_model, targets, testbed):
+        result = monte_carlo_search(
+            anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+            n_samples=50, seed=1,
+        )
+        assert set(result.best_config.site_order) <= set(testbed.site_ids())
+        assert result.predicted_mean_rtt > 0
+        assert 0 < result.samples <= 50
+
+    def test_deterministic(self, anyopt_model, targets):
+        a = monte_carlo_search(
+            anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+            n_samples=30, seed=4,
+        )
+        b = monte_carlo_search(
+            anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+            n_samples=30, seed=4,
+        )
+        assert a.best_config == b.best_config
+        assert a.predicted_mean_rtt == b.predicted_mean_rtt
+
+    def test_size_restriction(self, anyopt_model, targets):
+        result = monte_carlo_search(
+            anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+            n_samples=40, sizes=[5], seed=2,
+        )
+        assert len(result.best_config.site_order) == 5
+
+    def test_never_beats_exhaustive_on_fixed_size(self, anyopt_model, targets):
+        exhaustive = search_configurations(
+            anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+            strategy="exhaustive", sizes=[4],
+        )
+        sampled = monte_carlo_search(
+            anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+            n_samples=60, sizes=[4], seed=3,
+        )
+        assert sampled.predicted_mean_rtt >= exhaustive.predicted_mean_rtt - 1e-9
+
+    def test_more_samples_never_worse(self, anyopt_model, targets):
+        few = monte_carlo_search(
+            anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+            n_samples=10, seed=5,
+        )
+        many = monte_carlo_search(
+            anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+            n_samples=200, seed=5,
+        )
+        assert many.predicted_mean_rtt <= few.predicted_mean_rtt + 1e-9
+
+    def test_invalid_inputs(self, anyopt_model, targets):
+        with pytest.raises(ConfigurationError):
+            monte_carlo_search(
+                anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+                n_samples=0,
+            )
+        with pytest.raises(ConfigurationError):
+            monte_carlo_search(
+                anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+                n_samples=5, sizes=[99],
+            )

@@ -1,0 +1,95 @@
+"""Tests for the one-pass peer heuristic."""
+
+import pytest
+
+from repro.core.config import AnycastConfig
+from repro.core.peers import one_pass_peer_selection, probe_peer
+from repro.util.errors import ConfigurationError
+from repro.util.stats import mean
+
+
+BASE = AnycastConfig(site_order=(1, 4, 6, 12))
+
+
+@pytest.fixture(scope="module")
+def peer_report(testbed, targets):
+    from repro.measurement.orchestrator import Orchestrator
+
+    orch = Orchestrator(
+        testbed, targets, seed=7,
+        session_churn_prob=0.0, rtt_drift_sigma=0.0,
+        rtt_bias_sigma=0.0, bgp_delay_jitter_ms=0.0,
+    )
+    return one_pass_peer_selection(orch, BASE, peer_ids=testbed.peer_ids()[:25])
+
+
+class TestProbePeer:
+    def test_probe_fields(self, clean_orchestrator, testbed):
+        peer_id = testbed.peer_ids()[0]
+        probe = probe_peer(clean_orchestrator, BASE, peer_id, base_mean_rtt=100.0)
+        assert probe.peer_id == peer_id
+        assert probe.peer_asn == testbed.peer_link(peer_id).peer_asn
+        assert probe.mean_rtt_ms > 0
+
+    def test_catchment_rtts_keyed_by_catchment(self, clean_orchestrator, testbed):
+        peer_id = testbed.peer_ids()[0]
+        probe = probe_peer(clean_orchestrator, BASE, peer_id, base_mean_rtt=100.0)
+        assert set(probe.catchment_rtts) <= probe.catchment
+
+
+class TestOnePass:
+    def test_base_must_be_transit_only(self, clean_orchestrator):
+        with pytest.raises(ConfigurationError):
+            one_pass_peer_selection(
+                clean_orchestrator, BASE.with_peers((1,)), peer_ids=[2]
+            )
+
+    def test_one_probe_per_peer(self, testbed, targets):
+        from repro.measurement.orchestrator import Orchestrator
+
+        orch = Orchestrator(
+            testbed, targets, seed=7,
+            session_churn_prob=0.0, rtt_drift_sigma=0.0,
+            rtt_bias_sigma=0.0, bgp_delay_jitter_ms=0.0,
+        )
+        one_pass_peer_selection(orch, BASE, peer_ids=testbed.peer_ids()[:5])
+        # base + 5 probes + final deployment
+        assert orch.experiment_count == 7
+
+    def test_beneficial_peers_have_negative_delta(self, peer_report):
+        for probe in peer_report.probes:
+            if probe.beneficial:
+                assert probe.delta_ms < 0
+
+    def test_selected_subset_of_beneficial(self, peer_report):
+        assert set(peer_report.selected_peers) <= set(peer_report.beneficial_peers())
+
+    def test_final_config_carries_selection(self, peer_report):
+        assert peer_report.final_config.peer_ids == peer_report.selected_peers
+        assert peer_report.final_config.site_order == BASE.site_order
+
+    def test_most_peers_have_small_catchment(self, peer_report, targets):
+        """Figure 7a: the bulk of peers attract few targets."""
+        fractions = [
+            probe.catchment_fraction(len(targets)) for probe in peer_report.probes
+        ]
+        small = sum(1 for f in fractions if f < 0.10)
+        assert small / len(fractions) > 0.5
+
+    def test_estimate_is_conservative_bound_direction(self, peer_report):
+        """The conservative estimate never promises more than the base
+        mean when nothing is selected."""
+        if not peer_report.selected_peers:
+            assert peer_report.estimated_final_mean_rtt_ms == pytest.approx(
+                peer_report.base_mean_rtt_ms
+            )
+        else:
+            assert (
+                peer_report.estimated_final_mean_rtt_ms
+                < peer_report.base_mean_rtt_ms
+            )
+
+    def test_some_peers_unreachable(self, peer_report):
+        """S5.4: a fraction of peers attract no targets at all (their
+        customer cones contain none)."""
+        assert len(peer_report.reachable_probes()) < len(peer_report.probes)

@@ -1,0 +1,125 @@
+"""Tests for the measurement-budget planner (S4.5 analysis)."""
+
+import pytest
+
+from repro.core.planner import MeasurementPlan, SiteLevelStrategy, plan_measurements
+from repro.util.errors import ConfigurationError
+
+
+class TestPaperNumbers:
+    def test_akamai_dns_approximation(self):
+        """S4.5: 500 sites, 20 providers, 4 prefixes, 2h spacing, RTT
+        heuristic -> 500 singletons (250h, ~10 days) and 380 pairwise
+        (190h, ~8 days)."""
+        plan = plan_measurements(500, 20)
+        assert plan.singleton_experiments == 500
+        assert plan.provider_pairwise_experiments == 380
+        assert plan.site_pairwise_experiments == 0
+        assert plan.singleton_hours == pytest.approx(250.0)
+        assert plan.pairwise_hours == pytest.approx(190.0)
+        assert 10 <= plan.singleton_hours / 24 <= 10.5
+        assert 7.9 <= plan.pairwise_hours / 24 <= 8.0
+
+    def test_testbed_scale(self):
+        plan = plan_measurements(
+            15, 6, site_level=SiteLevelStrategy.PAIRWISE, ordered=True
+        )
+        assert plan.singleton_experiments == 15
+        assert plan.provider_pairwise_experiments == 30  # C(6,2) x 2
+        assert plan.site_pairwise_experiments > 0
+
+    def test_naive_is_exponential(self):
+        plan = plan_measurements(15, 6)
+        assert plan.naive_experiments() == 2 ** 15
+        assert plan.total_experiments < plan.naive_experiments()
+
+
+class TestScaling:
+    def test_unordered_halves_pairwise(self):
+        ordered = plan_measurements(100, 10, ordered=True)
+        unordered = plan_measurements(100, 10, ordered=False)
+        assert ordered.provider_pairwise_experiments == (
+            2 * unordered.provider_pairwise_experiments
+        )
+
+    def test_more_prefixes_faster(self):
+        slow = plan_measurements(100, 10, parallel_prefixes=1)
+        fast = plan_measurements(100, 10, parallel_prefixes=4)
+        assert fast.total_days == pytest.approx(slow.total_days / 4)
+
+    def test_pairwise_site_level_grows_quadratically(self):
+        small = plan_measurements(40, 10, site_level=SiteLevelStrategy.PAIRWISE)
+        large = plan_measurements(80, 10, site_level=SiteLevelStrategy.PAIRWISE)
+        assert large.site_pairwise_experiments > 3 * small.site_pairwise_experiments
+
+    def test_total_experiments_sum(self):
+        plan = plan_measurements(30, 5, site_level=SiteLevelStrategy.PAIRWISE)
+        assert plan.total_experiments == (
+            plan.singleton_experiments
+            + plan.provider_pairwise_experiments
+            + plan.site_pairwise_experiments
+        )
+
+
+class TestScheduling:
+    def test_every_experiment_scheduled(self):
+        from repro.core.planner import schedule_experiments
+
+        plan = plan_measurements(20, 5, site_level=SiteLevelStrategy.PAIRWISE)
+        schedule = schedule_experiments(plan)
+        assert len(schedule) == plan.total_experiments
+
+    def test_no_overlap_per_prefix(self):
+        from repro.core.planner import schedule_experiments
+
+        plan = plan_measurements(20, 5, parallel_prefixes=3)
+        schedule = schedule_experiments(plan)
+        by_slot = {}
+        for exp in schedule:
+            by_slot.setdefault(exp.prefix_slot, []).append(exp)
+        for slot_experiments in by_slot.values():
+            ordered = sorted(slot_experiments, key=lambda e: e.start_hour)
+            for a, b in zip(ordered, ordered[1:]):
+                assert a.end_hour <= b.start_hour + 1e-9
+
+    def test_campaign_order_singletons_first(self):
+        from repro.core.planner import schedule_experiments
+
+        plan = plan_measurements(10, 3, site_level=SiteLevelStrategy.PAIRWISE)
+        schedule = schedule_experiments(plan)
+        kinds = [e.kind for e in sorted(schedule, key=lambda e: e.index)]
+        first_pairwise = kinds.index("provider-pairwise")
+        assert all(k == "singleton" for k in kinds[:first_pairwise])
+
+    def test_makespan_matches_hours(self):
+        from repro.core.planner import campaign_makespan_hours, schedule_experiments
+
+        plan = plan_measurements(16, 4, parallel_prefixes=4)
+        schedule = schedule_experiments(plan)
+        makespan = campaign_makespan_hours(plan)
+        assert max(e.end_hour for e in schedule) == pytest.approx(makespan)
+
+    def test_all_prefixes_used(self):
+        from repro.core.planner import schedule_experiments
+
+        plan = plan_measurements(40, 8, parallel_prefixes=4)
+        schedule = schedule_experiments(plan)
+        assert {e.prefix_slot for e in schedule} == {0, 1, 2, 3}
+
+
+class TestValidation:
+    def test_zero_sites_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_measurements(0, 1)
+
+    def test_more_providers_than_sites_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_measurements(5, 6)
+
+    def test_bad_prefixes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_measurements(10, 2, parallel_prefixes=0)
+
+    def test_bad_spacing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_measurements(10, 2, spacing_hours=0)

@@ -1,0 +1,172 @@
+"""Tests for BGP poisoning and live withdrawal reconvergence (S6)."""
+
+import pytest
+
+from repro.bgp.engine import BGPEngine, SiteInjection, SiteWithdrawal
+from repro.bgp.dataplane import DataPlane
+from repro.topology.astopo import Relationship
+from repro.util.errors import ReproError
+
+
+def injection(testbed, site_id, t=0.0, poison=()):
+    site = testbed.site(site_id)
+    return SiteInjection(
+        host_asn=site.provider_asn,
+        site_id=site_id,
+        pop_id=site.attach_pop,
+        link_rtt_ms=site.access_rtt_ms,
+        rel_from_host=Relationship.CUSTOMER,
+        announce_time_ms=t,
+        poison=tuple(poison),
+    )
+
+
+class TestPoisoning:
+    def test_poisoned_as_drops_route(self, testbed):
+        engine = BGPEngine(testbed.internet)
+        # Poison a tier-2 transit that otherwise carries the route.
+        plain = engine.run([injection(testbed, 1)])
+        carrier = next(
+            asn
+            for asn, state in plain.states.items()
+            if testbed.internet.graph.as_of(asn).tier == 2
+            and state.best is not None
+        )
+        poisoned = engine.run([injection(testbed, 1, poison=(carrier,))])
+        state = poisoned.states[carrier]
+        # The poisoned AS either has no route or one that arrived via a
+        # path not containing itself... which is impossible: its own
+        # ASN is in every announced path, so it must have none.
+        assert state.best is None
+
+    def test_traffic_routes_around_poisoned_as(self, testbed):
+        """No forwarding path traverses the poisoned AS (it has no
+        route, so it can never be a next hop)."""
+        engine = BGPEngine(testbed.internet)
+        plain = engine.run([injection(testbed, 1)])
+        carrier = next(
+            asn
+            for asn, state in plain.states.items()
+            if testbed.internet.graph.as_of(asn).tier == 2
+            and state.best is not None
+        )
+        poisoned = engine.run([injection(testbed, 1, poison=(carrier,))])
+        dp = DataPlane(testbed.internet, poisoned)
+        for asn in testbed.internet.graph.client_asns():
+            outcome = dp.forward(asn, asn)
+            if outcome is not None:
+                assert carrier not in outcome.as_path
+
+    def test_poison_lengthens_path(self, testbed):
+        engine = BGPEngine(testbed.internet)
+        conv = engine.run([injection(testbed, 1, poison=(99999999,))])
+        host = testbed.site(1).provider_asn
+        # origin, poisoned, origin.
+        assert conv.states[host].best.as_path == (65000, 99999999, 65000)
+
+    def test_cannot_poison_the_host(self, testbed):
+        engine = BGPEngine(testbed.internet)
+        host = testbed.site(1).provider_asn
+        with pytest.raises(ReproError):
+            engine.run([injection(testbed, 1, poison=(host,))])
+
+    def test_poisoned_clients_still_served_if_multihomed(self, testbed, targets):
+        """Clients that only reached the site via the poisoned AS move
+        elsewhere; overall reachability survives when another transit
+        exists."""
+        engine = BGPEngine(testbed.internet)
+        plain = engine.run([injection(testbed, 1), injection(testbed, 6, t=360000.0)])
+        carrier = next(
+            asn
+            for asn, state in plain.states.items()
+            if testbed.internet.graph.as_of(asn).tier == 2
+            and state.best is not None
+        )
+        poisoned = engine.run([
+            injection(testbed, 1, poison=(carrier,)),
+            injection(testbed, 6, t=360000.0),
+        ])
+        dp = DataPlane(testbed.internet, poisoned)
+        reachable = sum(
+            1
+            for asn in testbed.internet.graph.client_asns()
+            if asn != carrier and dp.forward(asn, asn) is not None
+        )
+        total = len(testbed.internet.graph.client_asns())
+        assert reachable >= total - 5
+
+
+class TestWithdrawalReconvergence:
+    def test_withdraw_converges_to_single_site_catchment(self, testbed):
+        """Announcing A and B, then withdrawing B, leaves every client
+        on A — with reachability identical to a fresh A-only
+        convergence.  (Exact paths may differ at arrival-order ties:
+        the tie-break is history-dependent, in real BGP too.)"""
+        engine = BGPEngine(testbed.internet)
+        transitioned = engine.run(
+            [injection(testbed, 1), injection(testbed, 6, t=360000.0)],
+            withdrawals=[
+                SiteWithdrawal(
+                    host_asn=testbed.site(6).provider_asn,
+                    site_id=6,
+                    withdraw_time_ms=720000.0,
+                )
+            ],
+        )
+        fresh = engine.run([injection(testbed, 1)])
+        assert transitioned.enabled_sites == (1,)
+        dp = DataPlane(testbed.internet, transitioned)
+        for asn in testbed.internet.graph.asns():
+            rt = transitioned.states[asn].best
+            rf = fresh.states[asn].best
+            assert (rt is None) == (rf is None), f"AS {asn} reachability differs"
+        for asn in testbed.internet.graph.client_asns():
+            outcome = dp.forward(asn, asn)
+            assert outcome is not None
+            assert outcome.site_id == 1
+
+    def test_withdraw_all_leaves_nothing(self, testbed):
+        engine = BGPEngine(testbed.internet)
+        conv = engine.run(
+            [injection(testbed, 1)],
+            withdrawals=[
+                SiteWithdrawal(
+                    host_asn=testbed.site(1).provider_asn,
+                    site_id=1,
+                    withdraw_time_ms=500000.0,
+                )
+            ],
+        )
+        for state in conv.states.values():
+            assert state.best is None
+        assert conv.enabled_sites == ()
+
+    def test_withdraw_one_of_same_provider_pair(self, testbed):
+        """Withdrawing Osaka keeps Tokyo serving the whole NTT
+        catchment."""
+        engine = BGPEngine(testbed.internet)
+        conv = engine.run(
+            [injection(testbed, 6), injection(testbed, 7, t=360000.0)],
+            withdrawals=[
+                SiteWithdrawal(
+                    host_asn=testbed.site(7).provider_asn,
+                    site_id=7,
+                    withdraw_time_ms=720000.0,
+                )
+            ],
+        )
+        dp = DataPlane(testbed.internet, conv)
+        sites = {
+            dp.forward(a, a).site_id
+            for a in testbed.internet.graph.client_asns()
+            if dp.forward(a, a) is not None
+        }
+        assert sites == {6}
+
+    def test_unknown_withdraw_host_rejected(self, testbed):
+        engine = BGPEngine(testbed.internet)
+        with pytest.raises(ReproError):
+            engine.run(
+                [injection(testbed, 1)],
+                withdrawals=[SiteWithdrawal(424242, 1, 100.0)],
+            )

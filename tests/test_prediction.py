@@ -1,0 +1,94 @@
+"""Tests for catchment/RTT prediction against deployments."""
+
+import pytest
+
+from repro.baselines import random_config
+from repro.core.config import AnycastConfig
+from repro.core.prediction import CatchmentPredictor, PredictionReport
+from repro.util.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def predictor(anyopt_model):
+    return anyopt_model.predictor
+
+
+class TestPredictCatchment:
+    def test_predicts_enabled_site_or_none(self, predictor, targets, testbed):
+        cfg = AnycastConfig(site_order=(1, 4, 6))
+        for t in list(targets)[:100]:
+            site = predictor.predict_catchment(t.target_id, cfg)
+            assert site in (1, 4, 6, None)
+
+    def test_singleton_prediction_is_that_site(self, predictor, targets):
+        cfg = AnycastConfig(site_order=(9,))
+        predicted = {
+            predictor.predict_catchment(t.target_id, cfg) for t in targets
+        }
+        assert predicted <= {9, None}
+
+    def test_prediction_respects_announce_order(self, predictor, targets):
+        """For order-dependent clients, reversing the configured
+        announcement order can change the prediction."""
+        ab = AnycastConfig(site_order=(1, 6))
+        ba = AnycastConfig(site_order=(6, 1))
+        changed = sum(
+            1
+            for t in targets
+            if predictor.predict_catchment(t.target_id, ab) is not None
+            and predictor.predict_catchment(t.target_id, ab)
+            != predictor.predict_catchment(t.target_id, ba)
+        )
+        assert changed > 0
+
+    def test_predict_catchments_bulk(self, predictor, targets):
+        cfg = AnycastConfig(site_order=(1, 6))
+        result = predictor.predict_catchments(cfg, targets)
+        assert len(result) == len(targets)
+
+
+class TestPredictRtt:
+    def test_rtt_from_matrix(self, predictor, targets, anyopt_model):
+        cfg = AnycastConfig(site_order=(1, 6))
+        for t in list(targets)[:50]:
+            rtt = predictor.predict_rtt(t.target_id, cfg)
+            site = predictor.predict_catchment(t.target_id, cfg)
+            if rtt is not None:
+                assert rtt == anyopt_model.rtt_matrix.rtt(site, t.target_id)
+
+    def test_mean_rtt_positive(self, predictor, targets):
+        cfg = AnycastConfig(site_order=(1, 4, 6, 12))
+        assert predictor.predict_mean_rtt(cfg, targets) > 0
+
+
+class TestEvaluate:
+    def test_accuracy_high_on_random_configs(self, anyopt, anyopt_model, testbed):
+        """The paper's S5.2 result: held-out random configurations are
+        predicted with >90% catchment accuracy."""
+        for i in range(3):
+            cfg = random_config(testbed, 4 + 3 * i, seed=50 + i)
+            report = anyopt.evaluate(anyopt_model, cfg)
+            assert report.accuracy > 0.9
+            assert 0.5 < report.coverage <= 1.0
+
+    def test_rtt_error_small(self, anyopt, anyopt_model, testbed):
+        cfg = random_config(testbed, 8, seed=77)
+        report = anyopt.evaluate(anyopt_model, cfg)
+        assert report.rel_rtt_error < 0.25
+
+    def test_report_consistency(self, anyopt, anyopt_model, testbed):
+        cfg = random_config(testbed, 5, seed=78)
+        report = anyopt.evaluate(anyopt_model, cfg)
+        assert report.n_correct <= report.n_predicted <= report.n_targets
+        assert report.abs_rtt_error_ms == pytest.approx(
+            abs(report.predicted_mean_rtt - report.measured_mean_rtt)
+        )
+
+    def test_empty_report_raises(self):
+        report = PredictionReport(
+            config=AnycastConfig(site_order=(1,)),
+            n_targets=10, n_predicted=0, n_correct=0,
+            predicted_mean_rtt=1.0, measured_mean_rtt=1.0,
+        )
+        with pytest.raises(ReproError):
+            report.accuracy

@@ -1,0 +1,151 @@
+"""Tests for pairwise preferences and total-order construction."""
+
+import pytest
+
+from repro.core.preferences import (
+    PairObservation,
+    PreferenceMatrix,
+    PreferenceOutcome,
+    TotalOrderResult,
+    build_total_order,
+)
+from repro.util.errors import ReproError
+
+
+class TestPairObservation:
+    def test_same_sites_rejected(self):
+        with pytest.raises(ReproError):
+            PairObservation(1, 1, 1, 1)
+
+    def test_foreign_winner_rejected(self):
+        with pytest.raises(ReproError):
+            PairObservation(1, 2, 3, 1)
+
+    def test_strict_a(self):
+        obs = PairObservation(1, 2, 1, 1)
+        assert obs.outcome() is PreferenceOutcome.STRICT_A
+        assert obs.winner_given(1) == 1
+        assert obs.winner_given(2) == 1
+
+    def test_strict_b(self):
+        obs = PairObservation(1, 2, 2, 2)
+        assert obs.outcome() is PreferenceOutcome.STRICT_B
+        assert obs.winner_given(1) == 2
+
+    def test_order_dependent(self):
+        # First-announced wins both times: an arrival-order tie.
+        obs = PairObservation(1, 2, winner_a_first=1, winner_b_first=2)
+        assert obs.outcome() is PreferenceOutcome.ORDER_DEPENDENT
+        assert obs.winner_given(1) == 1
+        assert obs.winner_given(2) == 2
+
+    def test_inconsistent(self):
+        # The *later*-announced site won both times: only ECMP noise
+        # explains this.
+        obs = PairObservation(1, 2, winner_a_first=2, winner_b_first=1)
+        assert obs.outcome() is PreferenceOutcome.INCONSISTENT
+        assert obs.winner_given(1) is None
+
+    def test_unknown_when_unmapped(self):
+        obs = PairObservation(1, 2, None, 2)
+        assert obs.outcome() is PreferenceOutcome.UNKNOWN
+
+    def test_winner_given_requires_member_site(self):
+        obs = PairObservation(1, 2, 1, 1)
+        with pytest.raises(ReproError):
+            obs.winner_given(3)
+
+
+class TestPreferenceMatrix:
+    def test_record_and_lookup(self):
+        m = PreferenceMatrix()
+        m.record(7, PairObservation(1, 2, 1, 1))
+        assert m.observation(7, 1, 2).outcome() is PreferenceOutcome.STRICT_A
+        assert m.observation(7, 2, 1) is m.observation(7, 1, 2)
+
+    def test_missing_observation_none(self):
+        m = PreferenceMatrix()
+        assert m.observation(7, 1, 2) is None
+        assert m.winner(7, 1, 2, 1) is None
+
+    def test_clients_and_pairs(self):
+        m = PreferenceMatrix()
+        m.record(7, PairObservation(1, 2, 1, 1))
+        m.record(8, PairObservation(2, 3, 3, 3))
+        assert m.clients() == [7, 8]
+        assert len(m.pairs()) == 2
+
+
+def strict_matrix(client, ranking):
+    """Build a matrix where `client` strictly prefers ranking[0] >
+    ranking[1] > ..."""
+    m = PreferenceMatrix()
+    for i, a in enumerate(ranking):
+        for b in ranking[i + 1:]:
+            lo, hi = min(a, b), max(a, b)
+            winner = a  # a comes earlier in ranking
+            m.record(client, PairObservation(lo, hi, winner, winner))
+    return m
+
+
+class TestBuildTotalOrder:
+    def test_strict_transitive(self):
+        m = strict_matrix(7, [3, 1, 2])
+        result = build_total_order(m, 7, [1, 2, 3], announce_order=[1, 2, 3])
+        assert result.order == (3, 1, 2)
+
+    def test_single_item_trivial(self):
+        m = PreferenceMatrix()
+        result = build_total_order(m, 7, [5], announce_order=[5])
+        assert result.order == (5,)
+
+    def test_missing_pair_no_order(self):
+        m = strict_matrix(7, [1, 2])
+        result = build_total_order(m, 7, [1, 2, 3], announce_order=[1, 2, 3])
+        assert not result.has_total_order
+        assert "unmeasured" in result.reason
+
+    def test_cycle_detected(self):
+        m = PreferenceMatrix()
+        m.record(7, PairObservation(1, 2, 1, 1))  # 1 > 2
+        m.record(7, PairObservation(2, 3, 2, 2))  # 2 > 3
+        m.record(7, PairObservation(1, 3, 3, 3))  # 3 > 1: cycle
+        result = build_total_order(m, 7, [1, 2, 3], announce_order=[1, 2, 3])
+        assert not result.has_total_order
+        assert result.reason == "cyclic preferences"
+
+    def test_order_dependent_resolved_by_announce_order(self):
+        m = PreferenceMatrix()
+        m.record(7, PairObservation(1, 2, winner_a_first=1, winner_b_first=2))
+        first = build_total_order(m, 7, [1, 2], announce_order=[1, 2])
+        second = build_total_order(m, 7, [1, 2], announce_order=[2, 1])
+        assert first.order == (1, 2)
+        assert second.order == (2, 1)
+
+    def test_inconsistent_pair_blocks_order(self):
+        m = PreferenceMatrix()
+        m.record(7, PairObservation(1, 2, winner_a_first=2, winner_b_first=1))
+        result = build_total_order(m, 7, [1, 2], announce_order=[1, 2])
+        assert not result.has_total_order
+        assert "inconsistent" in result.reason
+
+    def test_item_missing_from_announce_order_raises(self):
+        m = strict_matrix(7, [1, 2])
+        with pytest.raises(ReproError):
+            build_total_order(m, 7, [1, 2], announce_order=[1])
+
+
+class TestTotalOrderResult:
+    def test_most_preferred_respects_enabled_subset(self):
+        result = TotalOrderResult(7, (3, 1, 2))
+        assert result.most_preferred([1, 2]) == 1
+        assert result.most_preferred([2]) == 2
+        assert result.most_preferred([3, 2]) == 3
+
+    def test_most_preferred_empty_enabled(self):
+        result = TotalOrderResult(7, (3, 1, 2))
+        assert result.most_preferred([]) is None
+
+    def test_no_order_predicts_nothing(self):
+        result = TotalOrderResult(7, None, reason="cyclic")
+        assert result.most_preferred([1, 2]) is None

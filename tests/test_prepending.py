@@ -1,0 +1,83 @@
+"""Tests for AS-path prepending (the S6 'other control knobs' item)."""
+
+import pytest
+
+from repro.core.config import AnycastConfig
+from repro.util.errors import ConfigurationError
+
+
+class TestConfigValidation:
+    def test_prepend_for_enabled_site(self):
+        cfg = AnycastConfig(site_order=(1, 6), prepends=((1, 3),))
+        assert cfg.prepend_of(1) == 3
+        assert cfg.prepend_of(6) == 0
+
+    def test_prepend_for_disabled_site_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnycastConfig(site_order=(1,), prepends=((6, 2),))
+
+    def test_negative_prepend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnycastConfig(site_order=(1,), prepends=((1, -1),))
+
+    def test_duplicate_prepend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnycastConfig(site_order=(1,), prepends=((1, 1), (1, 2)))
+
+    def test_with_prepend_builder(self):
+        cfg = AnycastConfig(site_order=(1, 6)).with_prepend(6, 2)
+        assert cfg.prepend_of(6) == 2
+        cfg2 = cfg.with_prepend(6, 5)
+        assert cfg2.prepend_of(6) == 5
+
+
+class TestPrependEffects:
+    def test_prepended_path_visible_in_ribs(self, clean_orchestrator):
+        cfg = AnycastConfig(site_order=(1, 6), prepends=((1, 2),))
+        dep = clean_orchestrator.deploy(cfg)
+        telia = clean_orchestrator.testbed.site(1).provider_asn
+        best = dep.converged.states[telia].best
+        # Telia holds the prepended injection: origin repeated 3x.
+        assert best.as_path == (65000, 65000, 65000)
+
+    def test_prepending_shrinks_catchment(self, clean_orchestrator, targets):
+        plain = clean_orchestrator.deploy(AnycastConfig(site_order=(1, 6)))
+        prepended = clean_orchestrator.deploy(
+            AnycastConfig(site_order=(1, 6), prepends=((1, 3),))
+        )
+        def catchment_size(dep, site):
+            return sum(
+                1
+                for t in targets
+                if (o := dep.forwarding(t)) is not None and o.site_id == site
+            )
+        assert catchment_size(prepended, 1) < catchment_size(plain, 1)
+        assert catchment_size(prepended, 6) > catchment_size(plain, 6)
+
+    def test_prepending_never_kills_reachability(self, clean_orchestrator, targets):
+        dep = clean_orchestrator.deploy(
+            AnycastConfig(site_order=(1, 6), prepends=((1, 5), (6, 5)))
+        )
+        reachable = sum(1 for t in targets if dep.forwarding(t) is not None)
+        assert reachable == len(targets)
+
+    def test_intra_provider_shadowing(self, clean_orchestrator, targets):
+        """Prepending one of two same-provider sites removes it from
+        the provider's data-plane attachments: interior routers all
+        prefer the shorter announcement."""
+        plain = clean_orchestrator.deploy(AnycastConfig(site_order=(6, 7)))
+        shadowed = clean_orchestrator.deploy(
+            AnycastConfig(site_order=(6, 7), prepends=((7, 2),))
+        )
+        sites_plain = {
+            o.site_id
+            for t in targets
+            if (o := plain.forwarding(t)) is not None
+        }
+        sites_shadowed = {
+            o.site_id
+            for t in targets
+            if (o := shadowed.forwarding(t)) is not None
+        }
+        assert sites_plain == {6, 7}
+        assert sites_shadowed == {6}

@@ -1,0 +1,118 @@
+"""Tests for ASCII reporting."""
+
+import pytest
+
+from repro.report import (
+    render_catchment_bars,
+    render_cdf,
+    render_histogram,
+    render_table,
+)
+from repro.util.errors import ReproError
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["site", "rtt"], [[1, 43.25], [2, 76.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("site")
+        assert "43.2" in lines[2]
+        assert "76.0" in lines[3]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_wide_cells_stretch_columns(self):
+        out = render_table(["name"], [["a-very-long-name"]])
+        header, sep, row = out.splitlines()
+        assert len(sep) == len("a-very-long-name")
+
+    def test_custom_float_format(self):
+        out = render_table(["v"], [[3.14159]], float_format="{:.3f}")
+        assert "3.142" in out
+
+    def test_non_floats_stringified(self):
+        out = render_table(["a", "b"], [[None, (1, 2)]])
+        assert "None" in out and "(1, 2)" in out
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ReproError):
+            render_table([], [])
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ReproError):
+            render_table(["a", "b"], [[1]])
+
+    def test_no_rows_ok(self):
+        out = render_table(["a"], [])
+        assert out.splitlines()[0] == "a"
+
+
+class TestRenderCdf:
+    def test_contains_axis_and_stats(self):
+        out = render_cdf([1.0, 2.0, 3.0, 4.0], label="rtt")
+        assert "median 2.5" in out
+        assert "min 1.0" in out
+        assert "max 4.0" in out
+        assert "+" in out
+
+    def test_height_rows(self):
+        out = render_cdf([1, 2, 3], height=6)
+        # 6 plot rows + axis + footer.
+        assert len(out.splitlines()) == 8
+
+    def test_single_value_sample(self):
+        out = render_cdf([5.0, 5.0])
+        assert "median 5.0" in out
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ReproError):
+            render_cdf([1, 2], width=2)
+        with pytest.raises(ReproError):
+            render_cdf([1, 2], height=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_cdf([])
+
+
+class TestRenderHistogram:
+    def test_bin_counts_sum(self):
+        values = [1, 1, 2, 3, 9]
+        out = render_histogram(values, bins=4)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in out.splitlines()]
+        assert sum(counts) == len(values)
+
+    def test_peak_bin_longest_bar(self):
+        out = render_histogram([1, 1, 1, 5], bins=2, width=10)
+        first, second = out.splitlines()
+        assert first.count("#") > second.count("#")
+
+    def test_constant_sample(self):
+        out = render_histogram([2.0, 2.0, 2.0], bins=3)
+        assert "3" in out
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            render_histogram([], bins=3)
+        with pytest.raises(ReproError):
+            render_histogram([1.0], bins=0)
+
+
+class TestRenderCatchmentBars:
+    def test_fractions(self):
+        out = render_catchment_bars({1: 3, 2: 1})
+        assert "75.0%" in out and "25.0%" in out
+
+    def test_explicit_total(self):
+        out = render_catchment_bars({1: 1}, total=4)
+        assert "25.0%" in out
+
+    def test_sorted_by_site(self):
+        out = render_catchment_bars({9: 1, 2: 1})
+        lines = out.splitlines()
+        assert lines[0].startswith("site 2")
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            render_catchment_bars({})
+        with pytest.raises(ReproError):
+            render_catchment_bars({1: 0}, total=0)

@@ -1,0 +1,98 @@
+"""Tests for RTT estimation and the RTT matrix."""
+
+import pytest
+
+from repro.measurement.icmp import IcmpProber
+from repro.measurement.rtt import RttMatrix, estimate_rtt
+from repro.measurement.targets import PingTarget
+from repro.measurement.tunnels import TunnelManager
+from repro.util.errors import MeasurementError
+
+
+def target(loss=0.0, tid=1):
+    return PingTarget(tid, 100000, "10.0.0.0/24", 2.0, loss)
+
+
+class TestEstimateRtt:
+    def test_close_to_truth(self, testbed):
+        prober = IcmpProber(seed=1)
+        tunnels = TunnelManager(testbed, seed=1)
+        estimate = estimate_rtt(prober, tunnels, target(), 1, 80.0, experiment_id=1)
+        assert estimate == pytest.approx(80.0, abs=5.0)
+
+    def test_median_filters_spikes(self, testbed):
+        """Across many experiments the estimate stays near truth even
+        though individual probes spike."""
+        prober = IcmpProber(seed=2)
+        tunnels = TunnelManager(testbed, seed=2)
+        errors = [
+            abs(estimate_rtt(prober, tunnels, target(), 1, 60.0, experiment_id=e) - 60.0)
+            for e in range(40)
+        ]
+        assert sorted(errors)[len(errors) // 2] < 3.0
+
+    def test_total_loss_returns_none(self, testbed):
+        prober = IcmpProber(seed=3)
+        tunnels = TunnelManager(testbed, seed=3)
+        heavy = PingTarget(1, 100000, "10.0.0.0/24", 2.0, 0.999)
+        assert estimate_rtt(prober, tunnels, heavy, 1, 60.0, experiment_id=1) is None
+
+    def test_min_valid_enforced(self, testbed):
+        prober = IcmpProber(seed=4)
+        tunnels = TunnelManager(testbed, seed=4)
+        estimate = estimate_rtt(
+            prober, tunnels, target(), 1, 60.0, experiment_id=1,
+            probes=3, min_valid=4,
+        )
+        assert estimate is None
+
+    def test_never_negative(self, testbed):
+        prober = IcmpProber(seed=5)
+        tunnels = TunnelManager(testbed, seed=5)
+        estimate = estimate_rtt(prober, tunnels, target(), 1, 0.1, experiment_id=1)
+        assert estimate is None or estimate >= 0.0
+
+
+class TestRttMatrix:
+    def make(self):
+        m = RttMatrix()
+        m.set(1, 10, 50.0)
+        m.set(1, 11, 70.0)
+        m.set(2, 10, 40.0)
+        m.set(2, 11, None)
+        return m
+
+    def test_rtt_lookup(self):
+        m = self.make()
+        assert m.rtt(1, 10) == 50.0
+        assert m.rtt(2, 11) is None
+
+    def test_missing_raises(self):
+        with pytest.raises(MeasurementError):
+            self.make().rtt(9, 9)
+
+    def test_has(self):
+        m = self.make()
+        assert m.has(1, 10)
+        assert not m.has(2, 11)
+        assert not m.has(9, 9)
+
+    def test_sites(self):
+        assert self.make().sites() == [1, 2]
+
+    def test_mean_unicast(self):
+        m = self.make()
+        assert m.mean_unicast_rtt(1) == 60.0
+        assert m.mean_unicast_rtt(2) == 40.0
+
+    def test_mean_unicast_no_samples_raises(self):
+        m = RttMatrix()
+        m.set(3, 1, None)
+        with pytest.raises(MeasurementError):
+            m.mean_unicast_rtt(3)
+
+    def test_best_site_for(self):
+        m = self.make()
+        assert m.best_site_for(10) == 2
+        assert m.best_site_for(11) == 1
+        assert m.best_site_for(99) is None

@@ -1,0 +1,113 @@
+"""Tests for the Dominating-Set -> SPLPO reduction (Theorem B.1)."""
+
+import itertools
+
+import pytest
+
+from repro.splpo.reduction import (
+    FAR_COST,
+    STAR_FACILITY,
+    dominating_set_to_splpo,
+)
+from repro.splpo import solve_exhaustive
+from repro.util.errors import ConfigurationError
+
+
+def has_dominating_set(vertices, edges, k):
+    adj = {v: {v} for v in vertices}
+    for a, b in edges:
+        adj[a].add(b)
+        adj[b].add(a)
+    for subset in itertools.combinations(vertices, k):
+        covered = set()
+        for v in subset:
+            covered |= adj[v]
+        if covered == set(vertices):
+            return True
+    return False
+
+
+PATH4 = (["a", "b", "c", "d"], [("a", "b"), ("b", "c"), ("c", "d")])
+TRIANGLE = (["x", "y", "z"], [("x", "y"), ("y", "z"), ("x", "z")])
+STAR5 = (["h", "1", "2", "3", "4"], [("h", "1"), ("h", "2"), ("h", "3"), ("h", "4")])
+EMPTY3 = (["p", "q", "r"], [])
+
+
+class TestReductionStructure:
+    def test_facility_and_client_counts(self):
+        inst = dominating_set_to_splpo(*PATH4)
+        assert len(inst.facilities) == 5  # 4 vertices + s*
+        assert len(inst.clients) == 5     # 4 vertices + c*
+
+    def test_star_client_prefers_star(self):
+        inst = dominating_set_to_splpo(*PATH4)
+        star_client = next(c for c in inst.clients if c.client_id == -1)
+        assert star_client.preference[0] == STAR_FACILITY
+
+    def test_vertex_client_prefers_self_then_neighbors(self):
+        inst = dominating_set_to_splpo(*PATH4)
+        client_b = next(c for c in inst.clients if c.client_id == 1)  # "b"
+        assert client_b.preference[0] == 1
+        assert set(client_b.preference[1:3]) == {0, 2}  # neighbors a, c
+        assert client_b.preference[3] == STAR_FACILITY
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dominating_set_to_splpo([], [])
+
+    def test_unknown_edge_vertex_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dominating_set_to_splpo(["a"], [("a", "b")])
+
+
+class TestTheoremB1:
+    """A zero-cost (K+1)-facility solution exists iff a K-dominating
+    set exists."""
+
+    @pytest.mark.parametrize(
+        "graph,k",
+        [
+            (PATH4, 2),     # {b, c} or {b, d} dominate the path
+            (TRIANGLE, 1),  # any vertex dominates a triangle
+            (STAR5, 1),     # hub dominates the star
+            (EMPTY3, 3),    # only all vertices dominate an empty graph
+        ],
+    )
+    def test_zero_cost_when_dominating_set_exists(self, graph, k):
+        vertices, edges = graph
+        assert has_dominating_set(vertices, edges, k)
+        inst = dominating_set_to_splpo(vertices, edges)
+        result = solve_exhaustive(inst, sizes=[k + 1])
+        assert result.cost == pytest.approx(0.0)
+
+    @pytest.mark.parametrize(
+        "graph,k",
+        [
+            (PATH4, 1),   # one vertex cannot dominate a 4-path
+            (STAR5, 0) if False else (EMPTY3, 2),  # 2 < 3 vertices
+        ],
+    )
+    def test_high_cost_when_no_dominating_set(self, graph, k):
+        vertices, edges = graph
+        assert not has_dominating_set(vertices, edges, k)
+        inst = dominating_set_to_splpo(vertices, edges)
+        result = solve_exhaustive(inst, sizes=[k + 1])
+        assert result.cost >= FAR_COST
+
+    def test_solution_contains_star_and_dominating_set(self):
+        vertices, edges = PATH4
+        inst = dominating_set_to_splpo(vertices, edges)
+        result = solve_exhaustive(inst, sizes=[3])
+        assert STAR_FACILITY in result.open_facilities
+        chosen = {v for v in result.open_facilities if v != STAR_FACILITY}
+        names = [vertices[i] for i in chosen]
+        assert has_dominating_set(vertices, edges, 2)
+        # The chosen vertices dominate the graph.
+        adj = {v: {v} for v in vertices}
+        for a, b in edges:
+            adj[a].add(b)
+            adj[b].add(a)
+        covered = set()
+        for v in names:
+            covered |= adj[v]
+        assert covered == set(vertices)

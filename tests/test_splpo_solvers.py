@@ -1,0 +1,146 @@
+"""Tests for SPLPO solvers: exhaustive, greedy, local search, annealing."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.splpo import (
+    Client,
+    SPLPOInstance,
+    solve_annealing,
+    solve_exhaustive,
+    solve_greedy,
+    solve_local_search,
+)
+from repro.util.errors import ConfigurationError
+
+
+def random_instance(n_facilities=6, n_clients=25, seed=0):
+    rng = random.Random(seed)
+    facilities = list(range(n_facilities))
+    clients = []
+    for cid in range(n_clients):
+        prefs = facilities[:]
+        rng.shuffle(prefs)
+        k = rng.randint(2, n_facilities)
+        prefs = tuple(prefs[:k])
+        costs = {f: rng.uniform(1.0, 100.0) for f in prefs}
+        clients.append(Client(cid, prefs, costs))
+    return SPLPOInstance(facilities, clients)
+
+
+def brute_force_best(instance, penalty):
+    best_cost, best_set = math.inf, None
+    for r in range(1, len(instance.facilities) + 1):
+        for subset in itertools.combinations(instance.facilities, r):
+            cost = instance.cost(subset, penalty)
+            if cost < best_cost:
+                best_cost, best_set = cost, frozenset(subset)
+    return best_set, best_cost
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brute_force(self, seed):
+        inst = random_instance(n_facilities=5, seed=seed)
+        result = solve_exhaustive(inst, unserved_penalty=500.0)
+        _, expected = brute_force_best(inst, 500.0)
+        assert result.cost == pytest.approx(expected)
+
+    def test_size_restriction(self):
+        inst = random_instance()
+        result = solve_exhaustive(inst, sizes=[3], unserved_penalty=500.0)
+        assert len(result.open_facilities) == 3
+
+    def test_invalid_size_rejected(self):
+        inst = random_instance()
+        with pytest.raises(ConfigurationError):
+            solve_exhaustive(inst, sizes=[0])
+        with pytest.raises(ConfigurationError):
+            solve_exhaustive(inst, sizes=[99])
+
+    def test_budget_respected(self):
+        inst = random_instance()
+        result = solve_exhaustive(inst, max_evaluations=10, unserved_penalty=500.0)
+        assert result.evaluations == 10
+
+    def test_no_facilities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_exhaustive(SPLPOInstance([], []))
+
+
+class TestGreedy:
+    def test_finds_feasible_solution(self):
+        inst = random_instance(seed=3)
+        result = solve_greedy(inst, unserved_penalty=500.0)
+        assert result.open_facilities
+        assert not math.isinf(result.cost)
+
+    def test_never_better_than_exhaustive(self):
+        for seed in range(4):
+            inst = random_instance(n_facilities=5, seed=seed)
+            greedy = solve_greedy(inst, unserved_penalty=500.0)
+            exact = solve_exhaustive(inst, unserved_penalty=500.0)
+            assert greedy.cost >= exact.cost - 1e-9
+
+    def test_max_open_respected(self):
+        inst = random_instance(seed=5)
+        result = solve_greedy(inst, max_open=2, force_size=True, unserved_penalty=500.0)
+        assert len(result.open_facilities) == 2
+
+    def test_invalid_max_open(self):
+        with pytest.raises(ConfigurationError):
+            solve_greedy(random_instance(), max_open=0)
+
+
+class TestLocalSearch:
+    def test_improves_or_matches_greedy(self):
+        for seed in range(4):
+            inst = random_instance(seed=seed)
+            greedy = solve_greedy(inst, unserved_penalty=500.0)
+            local = solve_local_search(inst, unserved_penalty=500.0)
+            assert local.cost <= greedy.cost + 1e-9
+
+    def test_fixed_size_keeps_cardinality(self):
+        inst = random_instance(seed=7)
+        start = frozenset(inst.facilities[:3])
+        result = solve_local_search(
+            inst, start=start, fixed_size=True, unserved_penalty=500.0
+        )
+        assert len(result.open_facilities) == 3
+
+    def test_respects_explicit_start(self):
+        inst = random_instance(seed=8)
+        start = frozenset(inst.facilities[:2])
+        result = solve_local_search(inst, start=start, unserved_penalty=500.0)
+        assert result.cost <= inst.fast_cost(start, 500.0) + 1e-9
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ConfigurationError):
+            solve_local_search(random_instance(), max_iterations=0)
+
+
+class TestAnnealing:
+    def test_reasonable_solution(self):
+        inst = random_instance(n_facilities=5, seed=9)
+        exact = solve_exhaustive(inst, unserved_penalty=500.0)
+        annealed = solve_annealing(inst, seed=1, steps=3000, unserved_penalty=500.0)
+        assert annealed.cost <= exact.cost * 1.3 + 1e-9
+
+    def test_deterministic_per_seed(self):
+        inst = random_instance(seed=10)
+        a = solve_annealing(inst, seed=4, steps=500, unserved_penalty=500.0)
+        b = solve_annealing(inst, seed=4, steps=500, unserved_penalty=500.0)
+        assert a.open_facilities == b.open_facilities
+        assert a.cost == b.cost
+
+    def test_invalid_params(self):
+        inst = random_instance()
+        with pytest.raises(ConfigurationError):
+            solve_annealing(inst, steps=0)
+        with pytest.raises(ConfigurationError):
+            solve_annealing(inst, cooling=1.5)
+        with pytest.raises(ConfigurationError):
+            solve_annealing(inst, start=[])

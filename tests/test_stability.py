@@ -1,0 +1,87 @@
+"""Tests for the longitudinal stability study (S6)."""
+
+import pytest
+
+from repro.core.config import AnycastConfig
+from repro.core.stability import (
+    StabilityReport,
+    StabilitySnapshot,
+    run_stability_study,
+)
+from repro.measurement.orchestrator import Orchestrator
+from repro.util.errors import ConfigurationError
+
+CONFIG = AnycastConfig(site_order=(1, 4, 6, 12))
+
+
+class TestRunStudy:
+    def test_snapshot_count(self, noisy_orchestrator):
+        report = run_stability_study(noisy_orchestrator, CONFIG, epochs=3)
+        assert len(report.snapshots) == 4
+        assert report.baseline.epoch == 0
+        assert report.baseline.unchanged_fraction is None
+
+    def test_stable_under_default_churn(self, noisy_orchestrator):
+        report = run_stability_study(noisy_orchestrator, CONFIG, epochs=3)
+        assert report.min_unchanged_fraction() > 0.85
+        # RTT tolerance loosened: the per-experiment bias noise on the
+        # small test topology is a larger fraction of the mean than on
+        # the full-size benchmark testbed.
+        assert not report.needs_remeasurement(rtt_threshold_fraction=0.25)
+
+    def test_perfectly_stable_without_churn(self, clean_orchestrator, testbed):
+        report = run_stability_study(clean_orchestrator, CONFIG, epochs=2)
+        # Only multipath rehash can move catchments in a churn-free
+        # world, so stability is near-perfect.
+        assert report.min_unchanged_fraction() > 0.95
+        assert report.rtt_spread_ms() < 0.05 * report.baseline.mean_rtt_ms
+
+    def test_heavy_churn_triggers_remeasurement(self, testbed, targets):
+        orch = Orchestrator(
+            testbed, targets, seed=3,
+            session_churn_prob=0.6, rtt_drift_sigma=0.0, rtt_bias_sigma=0.0,
+        )
+        report = run_stability_study(orch, CONFIG, epochs=2)
+        assert report.needs_remeasurement(catchment_threshold=0.97)
+
+    def test_epoch_budget(self, noisy_orchestrator):
+        before = noisy_orchestrator.experiment_count
+        run_stability_study(noisy_orchestrator, CONFIG, epochs=2)
+        assert noisy_orchestrator.experiment_count - before == 3
+
+    def test_invalid_epochs(self, noisy_orchestrator):
+        with pytest.raises(ConfigurationError):
+            run_stability_study(noisy_orchestrator, CONFIG, epochs=0)
+
+
+class TestReport:
+    def make(self, fractions, rtts):
+        snaps = [StabilitySnapshot(0, rtts[0], 100, None)]
+        snaps += [
+            StabilitySnapshot(i + 1, rtts[i + 1], 100, f)
+            for i, f in enumerate(fractions)
+        ]
+        return StabilityReport(config=CONFIG, snapshots=snaps)
+
+    def test_min_unchanged(self):
+        report = self.make([0.99, 0.91, 0.95], [100, 100, 100, 100])
+        assert report.min_unchanged_fraction() == 0.91
+
+    def test_rtt_spread(self):
+        report = self.make([1.0], [100, 112])
+        assert report.rtt_spread_ms() == 12
+
+    def test_remeasurement_on_catchment_drift(self):
+        report = self.make([0.80], [100, 100])
+        assert report.needs_remeasurement()
+
+    def test_remeasurement_on_rtt_drift(self):
+        report = self.make([1.0], [100, 115])
+        assert report.needs_remeasurement()
+
+    def test_no_followups_raises(self):
+        report = StabilityReport(
+            config=CONFIG, snapshots=[StabilitySnapshot(0, 100, 50, None)]
+        )
+        with pytest.raises(ConfigurationError):
+            report.min_unchanged_fraction()

@@ -1,0 +1,88 @@
+"""Tests for the Table 1 testbed builder."""
+
+import pytest
+
+from repro.topology.geo import city, great_circle_km
+from repro.topology.testbed import PAPER_SITES, TestbedParams, build_paper_testbed
+from repro.util.errors import ConfigurationError
+
+
+class TestPaperSites:
+    def test_fifteen_sites(self):
+        assert len(PAPER_SITES) == 15
+
+    def test_total_peer_count_is_104(self):
+        # S5.4: "The AnyOpt testbed includes 104 non-transit peering links."
+        assert sum(n for *_, n in PAPER_SITES) == 104
+
+    def test_six_providers(self):
+        assert len({provider for _, _, provider, _ in PAPER_SITES}) == 6
+
+
+class TestBuiltTestbed:
+    def test_sites_match_table(self, testbed):
+        assert testbed.site_ids() == list(range(1, 16))
+        for site_id, city_name, provider, n_peers in PAPER_SITES:
+            site = testbed.site(site_id)
+            assert site.city_name == city_name
+            assert site.provider_name == provider
+            assert site.n_peers == n_peers
+
+    def test_peer_links_count(self, testbed):
+        assert len(testbed.peer_links) == 104
+
+    def test_peer_links_reference_valid_sites(self, testbed):
+        for link in testbed.peer_links.values():
+            assert link.site_id in testbed.sites
+            assert link.peer_asn in testbed.internet.graph
+
+    def test_peer_asns_distinct(self, testbed):
+        asns = [l.peer_asn for l in testbed.peer_links.values()]
+        assert len(asns) == len(set(asns))
+
+    def test_peers_are_not_tier1(self, testbed):
+        for link in testbed.peer_links.values():
+            assert testbed.internet.graph.as_of(link.peer_asn).tier != 1
+
+    def test_site_attach_pop_in_site_city(self, testbed):
+        for site in testbed.sites.values():
+            net = testbed.internet.pop_network(site.provider_asn)
+            anchor = net.pop_location(site.attach_pop)
+            assert great_circle_km(anchor, site.location) < 1.0
+
+    def test_provider_grouping(self, testbed):
+        telia = testbed.internet.tier1_by_name("Telia")
+        assert testbed.sites_of_provider(telia) == [1, 2, 12]
+        ntt = testbed.internet.tier1_by_name("NTT")
+        assert testbed.sites_of_provider(ntt) == [6, 7, 9, 11]
+
+    def test_representative_site(self, testbed):
+        telia = testbed.internet.tier1_by_name("Telia")
+        assert testbed.representative_site(telia) == 1
+
+    def test_provider_asns(self, testbed):
+        # Telia, NTT, GTT, TATA, Zayo, Sparkle in ASN order.
+        assert testbed.provider_asns() == [1299, 2914, 3257, 6453, 6461, 6762]
+
+    def test_unknown_site_raises(self, testbed):
+        with pytest.raises(ConfigurationError):
+            testbed.site(99)
+
+    def test_unknown_peer_raises(self, testbed):
+        with pytest.raises(ConfigurationError):
+            testbed.peer_link(9999)
+
+    def test_orchestrator_location(self, testbed):
+        assert testbed.orchestrator_location == city("Ashburn")
+
+    def test_deterministic_rebuild(self, testbed):
+        from tests.conftest import SEED, small_topology_params
+
+        again = build_paper_testbed(
+            TestbedParams(topology=small_topology_params()), seed=SEED
+        )
+        assert {p: l.peer_asn for p, l in again.peer_links.items()} == {
+            p: l.peer_asn for p, l in testbed.peer_links.items()
+        }
+        for sid in testbed.site_ids():
+            assert again.site(sid).access_rtt_ms == testbed.site(sid).access_rtt_ms

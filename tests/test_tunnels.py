@@ -1,0 +1,59 @@
+"""Tests for GRE tunnel modeling."""
+
+import pytest
+
+from repro.measurement.tunnels import TunnelManager
+from repro.topology.geo import propagation_rtt_ms
+from repro.util.errors import MeasurementError
+
+
+class TestTunnelManager:
+    def test_tunnel_per_site(self, testbed):
+        mgr = TunnelManager(testbed, seed=1)
+        for site_id in testbed.site_ids():
+            assert mgr.tunnel(site_id).site_id == site_id
+
+    def test_unknown_site_raises(self, testbed):
+        mgr = TunnelManager(testbed, seed=1)
+        with pytest.raises(MeasurementError):
+            mgr.tunnel(99)
+
+    def test_true_rtt_tracks_distance(self, testbed):
+        mgr = TunnelManager(testbed, seed=1)
+        for site_id in testbed.site_ids():
+            site = testbed.site(site_id)
+            base = propagation_rtt_ms(testbed.orchestrator_location, site.location)
+            assert mgr.tunnel(site_id).true_rtt_ms == pytest.approx(
+                base + TunnelManager.OVERHEAD_MS
+            )
+
+    def test_estimate_close_to_truth(self, testbed):
+        mgr = TunnelManager(testbed, seed=1)
+        for site_id in testbed.site_ids():
+            tun = mgr.tunnel(site_id)
+            assert abs(tun.estimated_rtt_ms - tun.true_rtt_ms) < 2.0
+
+    def test_estimate_never_below_truth(self, testbed):
+        # Jitter only adds latency, so the median estimate is >= truth.
+        mgr = TunnelManager(testbed, seed=1)
+        for site_id in testbed.site_ids():
+            tun = mgr.tunnel(site_id)
+            assert tun.estimated_rtt_ms >= tun.true_rtt_ms
+
+    def test_refresh_changes_estimates_not_truth(self, testbed):
+        mgr = TunnelManager(testbed, seed=1)
+        before = {s: mgr.tunnel(s) for s in testbed.site_ids()}
+        mgr.refresh(epoch=1)
+        changed = 0
+        for site_id in testbed.site_ids():
+            after = mgr.tunnel(site_id)
+            assert after.true_rtt_ms == before[site_id].true_rtt_ms
+            if after.estimated_rtt_ms != before[site_id].estimated_rtt_ms:
+                changed += 1
+        assert changed > 0
+
+    def test_deterministic(self, testbed):
+        a = TunnelManager(testbed, seed=9)
+        b = TunnelManager(testbed, seed=9)
+        for site_id in testbed.site_ids():
+            assert a.tunnel(site_id).estimated_rtt_ms == b.tunnel(site_id).estimated_rtt_ms

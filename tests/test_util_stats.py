@@ -1,0 +1,110 @@
+"""Unit tests for repro.util.stats."""
+
+import math
+
+import pytest
+
+from repro.util.stats import (
+    cdf_points,
+    mean,
+    median,
+    percentile,
+    relative_error,
+    summarize,
+)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_single_value(self):
+        assert mean([42.0]) == 42.0
+
+    def test_accepts_generator(self):
+        assert mean(x for x in (2.0, 4.0)) == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_negative_values(self):
+        assert mean([-1.0, 1.0]) == 0.0
+
+
+class TestMedian:
+    def test_odd_length(self):
+        assert median([5, 1, 3]) == 3
+
+    def test_even_length_averages(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_unsorted_input(self):
+        assert median([9, 1, 8, 2, 5]) == 5
+
+    def test_filters_outliers(self):
+        # The paper's reason for median-of-seven: one spike does not
+        # move the estimate.
+        clean = [10.0] * 6
+        assert median(clean + [500.0]) == 10.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestPercentile:
+    def test_interpolates(self):
+        assert percentile([0, 10], 50) == 5.0
+
+    def test_bounds(self):
+        values = [3, 1, 2]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 3
+
+    def test_singleton(self):
+        assert percentile([7], 90) == 7.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2], 101)
+        with pytest.raises(ValueError):
+            percentile([1, 2], -0.1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_symmetric_in_sign(self):
+        assert relative_error(9.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_actual_raises(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+
+class TestCdfPoints:
+    def test_sorted_and_fractions(self):
+        xs, fs = cdf_points([3, 1, 2])
+        assert xs == [1, 2, 3]
+        assert fs[-1] == 1.0
+        assert fs == sorted(fs)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["n"] == 4
+        assert s["mean"] == 2.5
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["p10"] <= s["median"] <= s["p90"]

@@ -1,0 +1,110 @@
+"""Tests for workload weights and load-constrained optimization
+(Appendix B extensions)."""
+
+import math
+
+import pytest
+
+from repro import select_targets
+from repro.core.optimizer import build_splpo_instance, choose_announcement_order, search_configurations
+from repro.measurement.targets import PingTarget
+from repro.splpo import Client, SPLPOInstance
+from repro.util.errors import MeasurementError
+
+
+class TestWeightedTargets:
+    def test_default_weights_are_one(self, targets):
+        assert all(t.weight == 1.0 for t in targets)
+
+    def test_weighted_selection_heavy_tailed(self, testbed):
+        ts = select_targets(testbed.internet, weighted=True, seed=3)
+        weights = [t.weight for t in ts]
+        assert min(weights) > 0
+        assert max(weights) > 3 * (sum(weights) / len(weights))
+
+    def test_weighted_selection_deterministic(self, testbed):
+        a = select_targets(testbed.internet, weighted=True, seed=3)
+        b = select_targets(testbed.internet, weighted=True, seed=3)
+        assert [t.weight for t in a] == [t.weight for t in b]
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(MeasurementError):
+            PingTarget(1, 100000, "10.0.0.0/24", 1.0, 0.0, weight=0.0)
+
+
+class TestWeightedObjective:
+    def make_instance(self):
+        clients = [
+            Client(1, (1,), {1: 10.0}, weight=1.0),
+            Client(2, (1,), {1: 100.0}, weight=9.0),
+        ]
+        return SPLPOInstance([1], clients)
+
+    def test_weighted_mean_cost(self):
+        inst = self.make_instance()
+        assert inst.weighted_mean_cost([1]) == pytest.approx(
+            (10.0 + 9 * 100.0) / 10.0
+        )
+        assert inst.mean_cost([1]) == pytest.approx(55.0)
+
+    def test_weighted_mean_no_served_raises(self):
+        inst = SPLPOInstance([1, 2], [Client(1, (1,), {1: 5.0})])
+        from repro.util.errors import ReproError
+
+        with pytest.raises(ReproError):
+            inst.weighted_mean_cost([2])
+
+    def test_instance_carries_target_weights(self, anyopt_model, testbed):
+        heavy = select_targets(testbed.internet, weighted=True, seed=9)
+        sites = testbed.site_ids()
+        order, _ = choose_announcement_order(
+            anyopt_model.twolevel, sites, heavy, seed=1
+        )
+        instance = build_splpo_instance(
+            anyopt_model.twolevel, anyopt_model.rtt_matrix, heavy, sites, order
+        )
+        weights = {c.weight for c in instance.clients}
+        assert len(weights) > 1
+        for client in instance.clients:
+            assert client.load == client.weight
+
+
+class TestLoadConstrainedSearch:
+    def test_capacity_respected(self, anyopt_model, targets, testbed):
+        sites = testbed.site_ids()
+        # Cap each site at 45% of the client count: the unconstrained
+        # optimum may violate it, the constrained search may not.
+        cap = 0.45 * len(targets)
+        report = search_configurations(
+            anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+            strategy="exhaustive", sizes=[4],
+            capacities={s: cap for s in sites},
+        )
+        order, _ = choose_announcement_order(
+            anyopt_model.twolevel, sites, targets, seed=0
+        )
+        instance = build_splpo_instance(
+            anyopt_model.twolevel, anyopt_model.rtt_matrix, targets, sites, order
+        )
+        assignment = instance.assignment(report.best_config.sites)
+        loads = {}
+        for facility in assignment.values():
+            if facility is not None:
+                loads[facility] = loads.get(facility, 0) + 1
+        assert max(loads.values()) <= cap + 1
+
+    def test_constrained_cost_not_better(self, anyopt_model, targets, testbed):
+        unconstrained = search_configurations(
+            anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+            strategy="exhaustive", sizes=[4],
+        )
+        cap = 0.45 * len(targets)
+        constrained = search_configurations(
+            anyopt_model.twolevel, anyopt_model.rtt_matrix, targets,
+            strategy="exhaustive", sizes=[4],
+            capacities={s: cap for s in testbed.site_ids()},
+        )
+        assert (
+            constrained.predicted_mean_rtt
+            >= unconstrained.predicted_mean_rtt - 1e-9
+        )
