@@ -22,6 +22,8 @@ Packages:
 - :mod:`repro.measurement` — Verfploeter-style catchment/RTT probes;
 - :mod:`repro.core` — AnyOpt itself (experiments, preferences,
   prediction, optimization, peers);
+- :mod:`repro.runtime` — campaign execution: pooled executors,
+  convergence caching, noise settings, and metrics;
 - :mod:`repro.splpo` — the SPLPO optimization model and solvers;
 - :mod:`repro.baselines` — the configurations AnyOpt is compared to.
 """
@@ -36,6 +38,7 @@ from repro.core import (
     build_total_order,
 )
 from repro.measurement import Orchestrator, TargetSet, select_targets
+from repro.runtime import CampaignSettings, ConvergenceCache, MetricsRegistry, make_executor
 from repro.topology import (
     Testbed,
     TestbedParams,
@@ -50,8 +53,11 @@ __all__ = [
     "AnyOpt",
     "AnyOptModel",
     "AnycastConfig",
+    "CampaignSettings",
     "CatchmentPredictor",
+    "ConvergenceCache",
     "ExperimentRunner",
+    "MetricsRegistry",
     "Orchestrator",
     "PreferenceMatrix",
     "TargetSet",
@@ -62,5 +68,6 @@ __all__ = [
     "build_paper_testbed",
     "build_total_order",
     "generate_internet",
+    "make_executor",
     "select_targets",
 ]

@@ -6,7 +6,6 @@ sites within each (S5.3).  ``random_config`` draws an arbitrary
 k-subset, used for the 38 random validation configurations of S5.2.
 """
 
-from typing import Optional
 
 from repro.core.config import AnycastConfig
 from repro.topology.testbed import Testbed

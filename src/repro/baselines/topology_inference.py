@@ -12,7 +12,7 @@ quickly as sites are added.
 """
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.bgp.dataplane import DataPlane
 from repro.bgp.engine import BGPEngine, SiteInjection

@@ -99,12 +99,28 @@ class ConvergedState:
 
 class BGPEngine:
     """Runs anycast announcements over an :class:`Internet` to
-    convergence and returns the per-AS routing state."""
+    convergence and returns the per-AS routing state.
 
-    def __init__(self, internet: Internet, origin_asn: int = ANYCAST_ORIGIN_ASN, prefix: str = DEFAULT_ANYCAST_PREFIX):
+    ``cache`` (a :class:`repro.runtime.cache.ConvergenceCache`) stores
+    converged states keyed by the exact run inputs; a hit skips
+    propagation entirely and is bit-identical to re-running.
+    ``metrics`` (a :class:`repro.runtime.metrics.MetricsRegistry`)
+    receives the convergence work counters.
+    """
+
+    def __init__(
+        self,
+        internet: Internet,
+        origin_asn: int = ANYCAST_ORIGIN_ASN,
+        prefix: str = DEFAULT_ANYCAST_PREFIX,
+        cache=None,
+        metrics=None,
+    ):
         self.internet = internet
         self.origin_asn = origin_asn
         self.prefix = prefix
+        self.cache = cache
+        self.metrics = metrics
 
     def run(
         self,
@@ -139,6 +155,15 @@ class BGPEngine:
         for inj in injections:
             if inj.host_asn not in graph:
                 raise ReproError(f"injection references unknown AS {inj.host_asn}")
+
+        cache_key = None
+        if self.cache is not None:
+            cache_key = self.cache.key_for(
+                injections, igp_overlay, delay_jitter_ms, delay_nonce, withdrawals
+            )
+            cached = self.cache.lookup(cache_key)
+            if cached is not None:
+                return cached
 
         speakers = {
             asn: BGPSpeaker(graph, graph.as_of(asn), self.prefix, igp_overlay)
@@ -209,8 +234,13 @@ class BGPEngine:
                 else:
                     schedule(arrive, "announce", update.neighbor, receiver, update.as_path, update.med)
 
+        if self.metrics is not None:
+            self.metrics.counter("convergence_runs").increment()
+            self.metrics.counter("convergence_messages").increment(messages)
+            self.metrics.counter("convergence_events").increment(events)
+
         withdrawn = {(wd.host_asn, wd.site_id) for wd in withdrawals}
-        return ConvergedState(
+        state = ConvergedState(
             prefix=self.prefix,
             origin_asn=self.origin_asn,
             states={asn: sp.state for asn, sp in speakers.items()},
@@ -223,3 +253,6 @@ class BGPEngine:
                 if (inj.host_asn, inj.site_id) not in withdrawn
             })),
         )
+        if cache_key is not None:
+            self.cache.store(cache_key, state)
+        return state

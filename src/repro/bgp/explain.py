@@ -6,7 +6,7 @@ routes existed and which decision-process step picked the winner —
 the operator-facing "why did this client end up in Tokyo?" tool.
 """
 
-from typing import List, Optional
+from typing import List
 
 from repro.bgp.dataplane import DataPlane
 from repro.bgp.engine import ConvergedState

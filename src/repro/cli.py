@@ -22,8 +22,9 @@ from repro.core.config import AnycastConfig
 from repro.core.planner import SiteLevelStrategy, plan_measurements
 from repro.core.twolevel import SiteLevelMode
 from repro.io import load_model, load_testbed, save_model, save_testbed
-from repro.measurement import Orchestrator, select_targets
-from repro.report import render_catchment_bars, render_cdf, render_table
+from repro.measurement import select_targets
+from repro.report import render_catchment_bars, render_cdf, render_metrics, render_table
+from repro.splpo import available_strategies
 from repro.topology import TestbedParams, TopologyParams, build_paper_testbed
 from repro.util.errors import ReproError
 
@@ -40,7 +41,10 @@ def _parse_id_list(raw: str) -> tuple:
 def _make_anyopt(args) -> AnyOpt:
     testbed = load_testbed(args.testbed)
     targets = select_targets(testbed.internet, seed=args.seed)
-    return AnyOpt(testbed, targets=targets, seed=args.seed)
+    anyopt = AnyOpt(testbed, targets=targets, seed=args.seed)
+    # Remembered so ``main`` can render ``--stats`` after the command.
+    args._anyopt = anyopt
+    return anyopt
 
 
 # --- subcommands -----------------------------------------------------------
@@ -66,7 +70,7 @@ def cmd_discover(args) -> int:
     anyopt = _make_anyopt(args)
     if args.site_level == "rtt":
         anyopt.site_level_mode = SiteLevelMode.RTT_HEURISTIC
-    model = anyopt.discover()
+    model = anyopt.discover(parallelism=args.parallelism)
     save_model(model, args.out)
     order = tuple(anyopt.testbed.site_ids())
     with_order = sum(
@@ -272,6 +276,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared by every subcommand that runs a measurement campaign.
+    stats = argparse.ArgumentParser(add_help=False)
+    stats.add_argument(
+        "--stats",
+        action="store_true",
+        help="print campaign metrics (experiments, timers, cache hits) at the end",
+    )
+
     p = sub.add_parser("build-testbed", help="generate and save a testbed")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--stubs", type=int, default=600)
@@ -279,27 +291,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_build_testbed)
 
-    p = sub.add_parser("discover", help="run the measurement campaign")
+    p = sub.add_parser("discover", parents=[stats], help="run the measurement campaign")
     p.add_argument("--testbed", required=True)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--site-level", choices=["pairwise", "rtt"], default="pairwise")
+    p.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        help="worker threads for the campaign (results are identical to serial)",
+    )
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_discover)
 
-    p = sub.add_parser("optimize", help="offline configuration search")
+    p = sub.add_parser("optimize", parents=[stats], help="offline configuration search")
     p.add_argument("--testbed", required=True)
     p.add_argument("--model", required=True)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--size", type=int, default=None, help="deployment size")
     p.add_argument(
         "--strategy",
-        choices=["exhaustive", "greedy", "local_search", "annealing"],
+        choices=list(available_strategies()),
         default="exhaustive",
     )
     p.add_argument("--max-evaluations", type=int, default=None)
     p.set_defaults(func=cmd_optimize)
 
-    p = sub.add_parser("evaluate", help="deploy a config and check predictions")
+    p = sub.add_parser("evaluate", parents=[stats], help="deploy a config and check predictions")
     p.add_argument("--testbed", required=True)
     p.add_argument("--model", required=True)
     p.add_argument("--seed", type=int, default=0)
@@ -307,7 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--peers", type=_parse_id_list, default=())
     p.set_defaults(func=cmd_evaluate)
 
-    p = sub.add_parser("catchment", help="deploy a config and map catchments")
+    p = sub.add_parser("catchment", parents=[stats], help="deploy a config and map catchments")
     p.add_argument("--testbed", required=True)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--sites", type=_parse_id_list, required=True)
@@ -315,14 +333,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chart", action="store_true", help="also draw the RTT CDF")
     p.set_defaults(func=cmd_catchment)
 
-    p = sub.add_parser("peers", help="one-pass beneficial-peer selection")
+    p = sub.add_parser("peers", parents=[stats], help="one-pass beneficial-peer selection")
     p.add_argument("--testbed", required=True)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--sites", type=_parse_id_list, required=True)
     p.add_argument("--max-peers", type=int, default=None)
     p.set_defaults(func=cmd_peers)
 
-    p = sub.add_parser("stability", help="weekly re-measurement study (S6)")
+    p = sub.add_parser("stability", parents=[stats], help="weekly re-measurement study (S6)")
     p.add_argument("--testbed", required=True)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--sites", type=_parse_id_list, required=True)
@@ -364,7 +382,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        code = args.func(args)
+        anyopt = getattr(args, "_anyopt", None)
+        if getattr(args, "stats", False) and anyopt is not None:
+            print("\ncampaign stats:")
+            print(render_metrics(anyopt.metrics.snapshot()))
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

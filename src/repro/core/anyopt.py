@@ -10,8 +10,8 @@ Typical use::
     peers = anyopt.incorporate_peers(report.best_config)
 """
 
-from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence
 
 from repro.core.config import AnycastConfig
 from repro.core.experiments import ExperimentRunner
@@ -22,6 +22,8 @@ from repro.core.twolevel import SiteLevelMode, TwoLevelModel, discover_two_level
 from repro.measurement.orchestrator import Deployment, Orchestrator
 from repro.measurement.rtt import RttMatrix
 from repro.measurement.targets import TargetSet, select_targets
+from repro.runtime.executor import make_executor
+from repro.runtime.settings import CampaignSettings, resolve_settings
 from repro.topology.testbed import Testbed
 
 
@@ -34,6 +36,9 @@ class AnyOptModel:
     twolevel: TwoLevelModel
     predictor: CatchmentPredictor
     experiments_used: int
+    #: Campaign metrics snapshot taken when discovery finished (None
+    #: for models loaded from disk); see :mod:`repro.runtime.metrics`.
+    metrics: Optional[Dict] = field(default=None, compare=False)
 
     def total_order(self, client_id: int, site_order: Sequence[int]):
         """Delegate so the model can be used wherever a preference
@@ -42,7 +47,14 @@ class AnyOptModel:
 
 
 class AnyOpt:
-    """End-to-end driver for the AnyOpt pipeline on a testbed."""
+    """End-to-end driver for the AnyOpt pipeline on a testbed.
+
+    Campaign knobs — the drift/noise models plus the runtime options
+    (parallelism, convergence caching) — live in one
+    :class:`~repro.runtime.settings.CampaignSettings` value.  The old
+    per-knob constructor kwargs (``session_churn_prob=`` etc.) are
+    still accepted for now but emit a :class:`DeprecationWarning`.
+    """
 
     def __init__(
         self,
@@ -50,10 +62,19 @@ class AnyOpt:
         targets: Optional[TargetSet] = None,
         seed=0,
         site_level_mode: SiteLevelMode = SiteLevelMode.PAIRWISE,
-        session_churn_prob: float = 0.02,
-        rtt_drift_sigma: float = 0.04,
-        rtt_bias_sigma: float = 0.03,
+        settings: Optional[CampaignSettings] = None,
+        *,
+        session_churn_prob: Optional[float] = None,
+        rtt_drift_sigma: Optional[float] = None,
+        rtt_bias_sigma: Optional[float] = None,
     ):
+        self.settings = resolve_settings(
+            settings,
+            "AnyOpt",
+            session_churn_prob=session_churn_prob,
+            rtt_drift_sigma=rtt_drift_sigma,
+            rtt_bias_sigma=rtt_bias_sigma,
+        )
         self.testbed = testbed
         self.seed = seed
         self.site_level_mode = site_level_mode
@@ -63,33 +84,47 @@ class AnyOpt:
             else select_targets(testbed.internet, seed=seed)
         )
         self.orchestrator = Orchestrator(
-            testbed,
-            self.targets,
-            seed=seed,
-            session_churn_prob=session_churn_prob,
-            rtt_drift_sigma=rtt_drift_sigma,
-            rtt_bias_sigma=rtt_bias_sigma,
+            testbed, self.targets, seed=seed, settings=self.settings
         )
         self.runner = ExperimentRunner(self.orchestrator)
 
+    @property
+    def metrics(self):
+        """The campaign's :class:`~repro.runtime.metrics.MetricsRegistry`."""
+        return self.orchestrator.metrics
+
     # -- measurement -------------------------------------------------------
 
-    def discover(self) -> AnyOptModel:
+    def discover(self, parallelism: Optional[int] = None) -> AnyOptModel:
         """Run the full measurement campaign (S4.5 steps 1-2):
-        singleton RTT experiments plus two-level pairwise discovery."""
-        before = self.orchestrator.experiment_count
-        rtt_matrix = self.orchestrator.measure_rtt_matrix()
-        twolevel = discover_two_level(
-            self.runner,
-            rtt_matrix=rtt_matrix,
-            site_level_mode=self.site_level_mode,
+        singleton RTT experiments plus two-level pairwise discovery.
+
+        ``parallelism`` is the single entry point selecting serial vs.
+        pooled execution: ``1`` (or the settings default) runs the
+        classic serial campaign, ``N > 1`` dispatches the independent
+        experiments onto an ``N``-worker pool.  Experiment ids are
+        reserved in serial order before dispatch, so the resulting
+        model is bit-identical either way.
+        """
+        executor = make_executor(
+            self.settings.parallelism if parallelism is None else parallelism
         )
+        before = self.orchestrator.experiment_count
+        with self.metrics.phase("discover"):
+            rtt_matrix = self.orchestrator.measure_rtt_matrix(executor=executor)
+            twolevel = discover_two_level(
+                self.runner,
+                rtt_matrix=rtt_matrix,
+                site_level_mode=self.site_level_mode,
+                executor=executor,
+            )
         return AnyOptModel(
             testbed=self.testbed,
             rtt_matrix=rtt_matrix,
             twolevel=twolevel,
             predictor=CatchmentPredictor(twolevel, rtt_matrix),
             experiments_used=self.orchestrator.experiment_count - before,
+            metrics=self.metrics.snapshot(),
         )
 
     # -- offline computation ---------------------------------------------------
@@ -126,7 +161,19 @@ class AnyOpt:
         return model.predictor.evaluate(config, deployment, self.targets)
 
     def incorporate_peers(
-        self, config: AnycastConfig, peer_ids: Optional[Sequence[int]] = None
+        self,
+        config: AnycastConfig,
+        peer_ids: Optional[Sequence[int]] = None,
+        parallelism: Optional[int] = None,
     ) -> OnePassReport:
-        """Run the one-pass peer heuristic on top of ``config`` (S4.4)."""
-        return one_pass_peer_selection(self.orchestrator, config, peer_ids=peer_ids)
+        """Run the one-pass peer heuristic on top of ``config`` (S4.4).
+
+        The single-peer trials are independent; ``parallelism`` pools
+        them like :meth:`discover` does for pairwise experiments.
+        """
+        executor = make_executor(
+            self.settings.parallelism if parallelism is None else parallelism
+        )
+        return one_pass_peer_selection(
+            self.orchestrator, config, peer_ids=peer_ids, executor=executor
+        )

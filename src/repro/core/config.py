@@ -6,7 +6,7 @@ breaks ties), and which settlement-free peering links are enabled on
 top.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
 from repro.util.errors import ConfigurationError

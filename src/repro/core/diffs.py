@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.measurement.orchestrator import Deployment
-from repro.measurement.targets import PingTarget, TargetSet
+from repro.measurement.targets import TargetSet
 from repro.util.errors import ReproError
 from repro.util.stats import mean
 

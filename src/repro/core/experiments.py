@@ -9,12 +9,14 @@ order — S5.1).
 """
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from functools import partial
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.core.config import AnycastConfig
 from repro.core.preferences import PairObservation, PreferenceMatrix
-from repro.measurement.orchestrator import Deployment, Orchestrator
+from repro.measurement.orchestrator import Orchestrator
 from repro.measurement.verfploeter import CatchmentMap
+from repro.runtime.executor import CampaignExecutor, ProgressFn, SerialExecutor
 from repro.util.errors import ConfigurationError
 
 
@@ -70,9 +72,13 @@ class ExperimentRunner:
 
     # -- singleton ---------------------------------------------------------
 
-    def run_singleton(self, site_id: int) -> SingletonResult:
+    def run_singleton(
+        self, site_id: int, experiment_id: Optional[int] = None
+    ) -> SingletonResult:
         """Announce from one site only; measure RTT to every target."""
-        deployment = self.orchestrator.deploy(AnycastConfig(site_order=(site_id,)))
+        deployment = self.orchestrator.deploy(
+            AnycastConfig(site_order=(site_id,)), experiment_id=experiment_id
+        )
         rtts = {
             t.target_id: deployment.measure_rtt(t) for t in self.orchestrator.targets
         }
@@ -85,13 +91,27 @@ class ExperimentRunner:
 
     # -- pairwise -----------------------------------------------------------
 
-    def run_pairwise(self, site_a: int, site_b: int) -> PairwiseResult:
+    def run_pairwise(
+        self,
+        site_a: int,
+        site_b: int,
+        experiment_ids: Optional[Sequence[int]] = None,
+    ) -> PairwiseResult:
         """The S4.2 protocol: announce (a then b), measure, withdraw,
-        announce (b then a), measure."""
+        announce (b then a), measure.
+
+        ``experiment_ids`` accepts the two pre-reserved ids used when a
+        campaign executor dispatches pairs concurrently.
+        """
         if site_a == site_b:
             raise ConfigurationError("pairwise experiment needs two distinct sites")
-        dep_ab = self.orchestrator.deploy(AnycastConfig(site_order=(site_a, site_b)))
-        dep_ba = self.orchestrator.deploy(AnycastConfig(site_order=(site_b, site_a)))
+        id_ab, id_ba = experiment_ids if experiment_ids is not None else (None, None)
+        dep_ab = self.orchestrator.deploy(
+            AnycastConfig(site_order=(site_a, site_b)), experiment_id=id_ab
+        )
+        dep_ba = self.orchestrator.deploy(
+            AnycastConfig(site_order=(site_b, site_a)), experiment_id=id_ba
+        )
         return PairwiseResult(
             site_a=site_a,
             site_b=site_b,
@@ -99,14 +119,20 @@ class ExperimentRunner:
             map_b_first=dep_ba.measure_catchments(),
         )
 
-    def run_pairwise_simultaneous(self, site_a: int, site_b: int) -> PairwiseResult:
+    def run_pairwise_simultaneous(
+        self,
+        site_a: int,
+        site_b: int,
+        experiment_id: Optional[int] = None,
+    ) -> PairwiseResult:
         """The naive baseline: both sites announce at the same instant,
         so per-router arrival order is a race decided by propagation
         delays.  The single run is recorded as both orders."""
         if site_a == site_b:
             raise ConfigurationError("pairwise experiment needs two distinct sites")
         deployment = self.orchestrator.deploy(
-            AnycastConfig(site_order=(site_a, site_b), spacing_ms=0.0)
+            AnycastConfig(site_order=(site_a, site_b), spacing_ms=0.0),
+            experiment_id=experiment_id,
         )
         cmap = deployment.measure_catchments()
         return PairwiseResult(
@@ -115,22 +141,43 @@ class ExperimentRunner:
 
     # -- sweeps ---------------------------------------------------------------
 
+    def pairwise_tasks(
+        self, sites: Sequence[Tuple[int, int]], ordered: bool = True
+    ):
+        """Reserve experiment ids for the given site pairs — in pair
+        order, matching what a serial sweep would consume — and return
+        the ready-to-dispatch experiment thunks."""
+        tasks = []
+        for a, b in sites:
+            if ordered:
+                ids = self.orchestrator.reserve_experiment_ids(2)
+                tasks.append(partial(self.run_pairwise, a, b, tuple(ids)))
+            else:
+                ids = self.orchestrator.reserve_experiment_ids(1)
+                tasks.append(partial(self.run_pairwise_simultaneous, a, b, ids[0]))
+        return tasks
+
     def pairwise_sweep(
         self,
         site_ids: Iterable[int],
         ordered: bool = True,
+        executor: Optional[CampaignExecutor] = None,
+        progress: Optional[ProgressFn] = None,
     ) -> PreferenceMatrix:
         """Run pairwise experiments over every pair in ``site_ids`` and
-        collect all clients' observations."""
+        collect all clients' observations.
+
+        ``executor`` runs the (independent) pairs concurrently;
+        experiment ids are reserved in pair order first, so the matrix
+        is identical to a serial sweep.  ``progress`` is called as
+        ``progress(done, total)`` after each pair completes.
+        """
         sites = sorted(set(site_ids))
+        pairs = [(a, b) for i, a in enumerate(sites) for b in sites[i + 1:]]
+        executor = executor if executor is not None else SerialExecutor()
+        results = executor.run(self.pairwise_tasks(pairs, ordered=ordered), progress=progress)
         matrix = PreferenceMatrix()
-        for i, a in enumerate(sites):
-            for b in sites[i + 1:]:
-                result = (
-                    self.run_pairwise(a, b)
-                    if ordered
-                    else self.run_pairwise_simultaneous(a, b)
-                )
-                for target in self.orchestrator.targets:
-                    matrix.record(target.target_id, result.observation(target.target_id))
+        for result in results:
+            for target in self.orchestrator.targets:
+                matrix.record(target.target_id, result.observation(target.target_id))
         return matrix

@@ -17,7 +17,7 @@ active measurement.
 """
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bgp.messages import Route
 from repro.core.config import AnycastConfig

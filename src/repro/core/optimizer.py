@@ -10,29 +10,15 @@ order.
 """
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import AnycastConfig
 from repro.core.prediction import CatchmentPredictor
 from repro.measurement.rtt import RttMatrix
 from repro.measurement.targets import PingTarget
-from repro.splpo import (
-    Client,
-    SPLPOInstance,
-    solve_annealing,
-    solve_exhaustive,
-    solve_greedy,
-    solve_local_search,
-)
+from repro.splpo import Client, SPLPOInstance, get_solver
 from repro.util.errors import ConfigurationError, ReproError
 from repro.util.rng import derive_rng
-
-_SOLVERS = {
-    "exhaustive": solve_exhaustive,
-    "greedy": solve_greedy,
-    "local_search": solve_local_search,
-    "annealing": solve_annealing,
-}
 
 
 @dataclass
@@ -151,17 +137,17 @@ def search_configurations(
 
     Args:
         model: a preference model with ``total_order``.
-        strategy: ``exhaustive`` / ``greedy`` / ``local_search`` /
-            ``annealing`` (see :mod:`repro.splpo`).
+        strategy: a registered solver name (see
+            :func:`repro.splpo.available_strategies`; the built-ins are
+            ``exhaustive`` / ``greedy`` / ``local_search`` /
+            ``annealing``).  Unknown names raise
+            :class:`ConfigurationError` listing the valid strategies.
         sizes: restrict exhaustive search to these deployment sizes.
         max_evaluations: evaluation budget (the paper's time bound).
         capacities: optional per-site load caps (Appendix B); subsets
             that would overload a site are skipped as infeasible.
     """
-    if strategy not in _SOLVERS:
-        raise ConfigurationError(
-            f"unknown strategy {strategy!r}; choose from {sorted(_SOLVERS)}"
-        )
+    solver = get_solver(strategy)
     targets = list(targets)
     if sites is None:
         sites = model.testbed.site_ids()
@@ -171,14 +157,13 @@ def search_configurations(
         model, rtt_matrix, targets, sites, announce_order, capacities=capacities
     )
 
-    if strategy == "exhaustive":
-        result = solve_exhaustive(instance, sizes=sizes, max_evaluations=max_evaluations)
-    elif strategy == "greedy":
-        result = solve_greedy(instance, **solver_kwargs)
-    elif strategy == "local_search":
-        result = solve_local_search(instance, **solver_kwargs)
-    else:
-        result = solve_annealing(instance, seed=seed, **solver_kwargs)
+    result = solver(
+        instance,
+        seed=seed,
+        sizes=sizes,
+        max_evaluations=max_evaluations,
+        **solver_kwargs,
+    )
 
     if not result.open_facilities:
         raise ReproError(f"{strategy} search found no feasible configuration")

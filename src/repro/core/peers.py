@@ -8,11 +8,13 @@ that a newly added peer captures its entire one-pass catchment — a
 peer is kept only if the estimate still improves.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import partial
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.config import AnycastConfig
-from repro.measurement.orchestrator import Deployment, Orchestrator
+from repro.measurement.orchestrator import Orchestrator
+from repro.runtime.executor import CampaignExecutor, SerialExecutor
 from repro.util.errors import ConfigurationError
 from repro.util.stats import mean
 
@@ -63,10 +65,13 @@ def probe_peer(
     base_config: AnycastConfig,
     peer_id: int,
     base_mean_rtt: float,
+    experiment_id: Optional[int] = None,
 ) -> PeerProbeResult:
     """Enable one peer on the base configuration and measure it."""
     link = orchestrator.testbed.peer_link(peer_id)
-    deployment = orchestrator.deploy(base_config.with_peers((peer_id,)))
+    deployment = orchestrator.deploy(
+        base_config.with_peers((peer_id,)), experiment_id=experiment_id
+    )
     catchment: set = set()
     catchment_rtts: Dict[int, float] = {}
     rtts: List[float] = []
@@ -97,14 +102,21 @@ def one_pass_peer_selection(
     orchestrator: Orchestrator,
     base_config: AnycastConfig,
     peer_ids: Optional[Sequence[int]] = None,
+    executor: Optional[CampaignExecutor] = None,
 ) -> OnePassReport:
     """Run the full one-pass protocol: M single-peer measurements, a
-    greedy selection, then one deployment of the selected set."""
+    greedy selection, then one deployment of the selected set.
+
+    The M single-peer trials are independent, so ``executor`` may run
+    them concurrently; ids are reserved in peer order, keeping the
+    report identical to the serial protocol.
+    """
     if base_config.peer_ids:
         raise ConfigurationError("base configuration must be transit-only")
     peer_ids = (
         list(peer_ids) if peer_ids is not None else orchestrator.testbed.peer_ids()
     )
+    executor = executor if executor is not None else SerialExecutor()
 
     base = orchestrator.deploy(base_config)
     base_rtts: Dict[int, float] = {}
@@ -114,10 +126,12 @@ def one_pass_peer_selection(
             base_rtts[target.target_id] = measured
     base_mean = mean(base_rtts.values())
 
-    probes = [
-        probe_peer(orchestrator, base_config, peer_id, base_mean)
-        for peer_id in peer_ids
-    ]
+    probe_ids = orchestrator.reserve_experiment_ids(len(peer_ids))
+    with orchestrator.metrics.phase("one-pass-peers"):
+        probes = executor.run([
+            partial(probe_peer, orchestrator, base_config, peer_id, base_mean, exp_id)
+            for peer_id, exp_id in zip(peer_ids, probe_ids)
+        ])
 
     # Greedy selection in descending catchment size, conservative
     # whole-catchment switch assumption.

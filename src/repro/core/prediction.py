@@ -8,7 +8,7 @@ simulated Internet and compares — the experiment behind the paper's
 Figures 5a-5c.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.config import AnycastConfig

@@ -16,7 +16,7 @@ enabled site (Theorems A.1/A.2).
 """
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.util.errors import ReproError
@@ -100,6 +100,16 @@ class PreferenceMatrix:
         key = frozenset((obs.site_a, obs.site_b))
         self._data.setdefault(client_id, {})[key] = obs
         self._pairs.add(key)
+
+    def __eq__(self, other) -> bool:
+        """Two matrices are equal when they hold the same observations
+        (used by the determinism tests comparing parallel and serial
+        sweeps)."""
+        if not isinstance(other, PreferenceMatrix):
+            return NotImplemented
+        return self._data == other._data
+
+    __hash__ = None  # mutable container
 
     def clients(self) -> List[int]:
         return sorted(self._data)

@@ -17,7 +17,6 @@ from repro.core.config import AnycastConfig
 from repro.measurement.orchestrator import Orchestrator
 from repro.measurement.verfploeter import CatchmentMap
 from repro.util.errors import ConfigurationError
-from repro.util.stats import mean
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ as the naive comparator used by Figure 4c.
 """
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.experiments import ExperimentRunner
@@ -24,6 +24,7 @@ from repro.core.preferences import (
     build_total_order,
 )
 from repro.measurement.rtt import RttMatrix
+from repro.runtime.executor import CampaignExecutor, SerialExecutor
 from repro.topology.testbed import Testbed
 from repro.util.errors import ConfigurationError, ReproError
 
@@ -141,49 +142,63 @@ def discover_two_level(
     site_level_mode: SiteLevelMode = SiteLevelMode.PAIRWISE,
     ordered: bool = True,
     providers: Optional[Sequence[int]] = None,
+    executor: Optional[CampaignExecutor] = None,
 ) -> TwoLevelModel:
     """Run the two-level discovery experiments of S4.3.
 
     ``ordered=False`` runs the provider-level experiments with
     simultaneous announcements (the naive baseline of Figure 4b).
     ``providers`` restricts discovery to a subset of transit providers
-    (used to emulate smaller anycast networks).
+    (used to emulate smaller anycast networks).  ``executor`` runs the
+    independent pairwise experiments concurrently; experiment ids are
+    reserved in serial order first, so results are identical to a
+    serial campaign.
     """
     testbed = runner.orchestrator.testbed
+    metrics = runner.orchestrator.metrics
     provider_list = list(providers) if providers is not None else testbed.provider_asns()
+    executor = executor if executor is not None else SerialExecutor()
 
     # Provider-level: one representative site per provider; record
     # observations in provider-ASN space.
     provider_matrix = PreferenceMatrix()
     reps = {p: testbed.representative_site(p) for p in provider_list}
     site_to_provider = {s: p for p, s in reps.items()}
-    for i, pa in enumerate(provider_list):
-        for pb in provider_list[i + 1:]:
-            result = (
-                runner.run_pairwise(reps[pa], reps[pb])
-                if ordered
-                else runner.run_pairwise_simultaneous(reps[pa], reps[pb])
+    provider_pairs = [
+        (pa, pb)
+        for i, pa in enumerate(provider_list)
+        for pb in provider_list[i + 1:]
+    ]
+    with metrics.phase("provider-pairwise"):
+        tasks = runner.pairwise_tasks(
+            [(reps[pa], reps[pb]) for pa, pb in provider_pairs], ordered=ordered
+        )
+        results = executor.run(tasks)
+    for (pa, pb), result in zip(provider_pairs, results):
+        for target in runner.orchestrator.targets:
+            obs = result.observation(target.target_id)
+            provider_matrix.record(
+                target.target_id,
+                PairObservation(
+                    site_a=pa,
+                    site_b=pb,
+                    winner_a_first=site_to_provider.get(obs.winner_a_first),
+                    winner_b_first=site_to_provider.get(obs.winner_b_first),
+                ),
             )
-            for target in runner.orchestrator.targets:
-                obs = result.observation(target.target_id)
-                provider_matrix.record(
-                    target.target_id,
-                    PairObservation(
-                        site_a=pa,
-                        site_b=pb,
-                        winner_a_first=site_to_provider.get(obs.winner_a_first),
-                        winner_b_first=site_to_provider.get(obs.winner_b_first),
-                    ),
-                )
 
     # Site-level: pairwise inside each provider, or nothing for the
     # RTT heuristic.
     site_matrices: Dict[int, PreferenceMatrix] = {}
     if site_level_mode is SiteLevelMode.PAIRWISE:
-        for provider in provider_list:
-            sites = testbed.sites_of_provider(provider)
-            site_matrices[provider] = runner.pairwise_sweep(sites, ordered=True) \
-                if len(sites) > 1 else PreferenceMatrix()
+        with metrics.phase("site-pairwise"):
+            for provider in provider_list:
+                sites = testbed.sites_of_provider(provider)
+                site_matrices[provider] = (
+                    runner.pairwise_sweep(sites, ordered=True, executor=executor)
+                    if len(sites) > 1
+                    else PreferenceMatrix()
+                )
     elif rtt_matrix is None:
         raise ReproError("the RTT heuristic needs a measured RTT matrix")
 

@@ -8,6 +8,8 @@ experiment" — the unit the paper's measurement budget counts (S4.5) —
 and the orchestrator keeps a running tally.
 """
 
+import threading
+from functools import partial
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.util.rng import derive_rng, stable_hash
@@ -20,6 +22,10 @@ from repro.measurement.rtt import RttMatrix, estimate_rtt
 from repro.measurement.targets import PingTarget, TargetSet
 from repro.measurement.tunnels import TunnelManager
 from repro.measurement.verfploeter import CatchmentMap, measure_catchments
+from repro.runtime.cache import ConvergenceCache
+from repro.runtime.executor import CampaignExecutor, SerialExecutor
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.settings import CampaignSettings, resolve_settings
 from repro.topology.astopo import Relationship
 from repro.topology.testbed import Testbed
 from repro.util.errors import ConfigurationError, MeasurementError
@@ -109,14 +115,21 @@ _MISSING = object()
 class Orchestrator:
     """Deploys anycast configurations on the simulated Internet.
 
-    Attributes:
-        session_churn_prob: per-experiment probability that an AS's
-            interior-routing state changed since the topology was
-            built; churned ASes get fresh session costs for that run.
-            This is the measurement-to-deployment drift that keeps
-            real catchment prediction below 100% accurate.
-        rtt_drift_sigma: relative standard deviation of per-experiment
-            path-RTT drift.
+    The noise knobs live in a :class:`CampaignSettings` value (the old
+    per-knob constructor kwargs still work but are deprecated):
+
+    - ``session_churn_prob``: per-experiment probability that an AS's
+      interior-routing state changed since the topology was built;
+      churned ASes get fresh session costs for that run.  This is the
+      measurement-to-deployment drift that keeps real catchment
+      prediction below 100% accurate.
+    - ``rtt_drift_sigma``: relative standard deviation of
+      per-experiment path-RTT drift.
+
+    Campaign drivers reserve experiment ids *before* dispatching work
+    (:meth:`reserve_experiment_ids`), which is what makes pooled
+    execution bit-identical to the serial path: every seeded noise
+    stream is keyed by experiment id, never by completion order.
     """
 
     def __init__(
@@ -124,39 +137,86 @@ class Orchestrator:
         testbed: Testbed,
         targets: TargetSet,
         seed=0,
-        session_churn_prob: float = 0.02,
-        rtt_drift_sigma: float = 0.04,
-        rtt_bias_sigma: float = 0.03,
-        bgp_delay_jitter_ms: float = 20.0,
+        settings: Optional[CampaignSettings] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        session_churn_prob: Optional[float] = None,
+        rtt_drift_sigma: Optional[float] = None,
+        rtt_bias_sigma: Optional[float] = None,
+        bgp_delay_jitter_ms: Optional[float] = None,
     ):
-        if not 0.0 <= session_churn_prob <= 1.0:
-            raise ConfigurationError("session_churn_prob must be in [0, 1]")
-        if rtt_drift_sigma < 0 or rtt_bias_sigma < 0:
-            raise ConfigurationError("RTT drift sigmas must be non-negative")
+        self.settings = resolve_settings(
+            settings,
+            "Orchestrator",
+            session_churn_prob=session_churn_prob,
+            rtt_drift_sigma=rtt_drift_sigma,
+            rtt_bias_sigma=rtt_bias_sigma,
+            bgp_delay_jitter_ms=bgp_delay_jitter_ms,
+        )
         self.testbed = testbed
         self.targets = targets
         self.seed = seed
-        self.session_churn_prob = session_churn_prob
-        self.rtt_drift_sigma = rtt_drift_sigma
-        self.rtt_bias_sigma = rtt_bias_sigma
-        self.bgp_delay_jitter_ms = bgp_delay_jitter_ms
-        self.engine = BGPEngine(testbed.internet)
+        self.session_churn_prob = self.settings.session_churn_prob
+        self.rtt_drift_sigma = self.settings.rtt_drift_sigma
+        self.rtt_bias_sigma = self.settings.rtt_bias_sigma
+        self.bgp_delay_jitter_ms = self.settings.bgp_delay_jitter_ms
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.convergence_cache = (
+            ConvergenceCache(self.settings.convergence_cache_size, metrics=self.metrics)
+            if self.settings.convergence_cache
+            else None
+        )
+        self.engine = BGPEngine(
+            testbed.internet, cache=self.convergence_cache, metrics=self.metrics
+        )
         self.prober = IcmpProber(seed=seed)
         self.tunnels = TunnelManager(testbed, seed=seed)
-        self.experiment_count = 0
+        self._experiment_count = 0
+        self._id_lock = threading.Lock()
+
+    @property
+    def experiment_count(self) -> int:
+        """BGP experiments consumed (or reserved) so far — the unit
+        the paper's measurement budget counts (S4.5)."""
+        return self._experiment_count
 
     # -- deployment -----------------------------------------------------------
 
-    def deploy(self, config: AnycastConfig) -> Deployment:
-        """Announce ``config`` and converge; counts as one BGP experiment."""
-        self.experiment_count += 1
-        converged = self.engine.run(
-            self._injections(config),
-            igp_overlay=self._igp_overlay(self.experiment_count),
-            delay_jitter_ms=self.bgp_delay_jitter_ms,
-            delay_nonce=self.experiment_count,
-        )
-        return Deployment(self, config, converged, self.experiment_count)
+    def reserve_experiment_ids(self, count: int) -> range:
+        """Claim the next ``count`` experiment ids, in serial order.
+
+        Campaign executors reserve ids for a whole batch up front and
+        then deploy concurrently; because ids — not completion times —
+        seed the churn/jitter/drift streams, the results match a
+        serial run experiment for experiment.
+        """
+        if count < 0:
+            raise ConfigurationError("cannot reserve a negative id count")
+        with self._id_lock:
+            start = self._experiment_count + 1
+            self._experiment_count += count
+        return range(start, start + count)
+
+    def deploy(
+        self, config: AnycastConfig, experiment_id: Optional[int] = None
+    ) -> Deployment:
+        """Announce ``config`` and converge; counts as one BGP experiment.
+
+        ``experiment_id`` accepts an id obtained from
+        :meth:`reserve_experiment_ids`; by default the next id is
+        claimed on the spot (the serial path).
+        """
+        if experiment_id is None:
+            experiment_id = self.reserve_experiment_ids(1)[0]
+        with self.metrics.timer("deploy").time():
+            converged = self.engine.run(
+                self._injections(config),
+                igp_overlay=self._igp_overlay(experiment_id),
+                delay_jitter_ms=self.bgp_delay_jitter_ms,
+                delay_nonce=experiment_id,
+            )
+        self.metrics.counter("experiments").increment()
+        return Deployment(self, config, converged, experiment_id)
 
     # -- drift models -----------------------------------------------------------
 
@@ -240,29 +300,39 @@ class Orchestrator:
 
     # -- bulk measurements ------------------------------------------------------
 
-    def measure_rtt_matrix(self, site_ids: Optional[Iterable[int]] = None) -> RttMatrix:
+    def measure_rtt_matrix(
+        self,
+        site_ids: Optional[Iterable[int]] = None,
+        executor: Optional[CampaignExecutor] = None,
+    ) -> RttMatrix:
         """Run one singleton experiment per site and estimate the RTT
         from that site to every target (paper S3.4: ``O(|S|)``
-        singleton experiments)."""
+        singleton experiments).
+
+        The singletons are independent, so ``executor`` may run them
+        concurrently; ids are reserved in site order, keeping the
+        result identical to the serial sweep.
+        """
         site_ids = self.testbed.site_ids() if site_ids is None else list(site_ids)
+        executor = executor if executor is not None else SerialExecutor()
+
+        def singleton_row(site_id: int, experiment_id: int) -> List[Tuple[int, Optional[float]]]:
+            deployment = self.deploy(
+                AnycastConfig(site_order=(site_id,)), experiment_id=experiment_id
+            )
+            return [
+                (target.target_id, deployment.measure_rtt(target))
+                for target in self.targets
+            ]
+
+        ids = self.reserve_experiment_ids(len(site_ids))
+        with self.metrics.phase("rtt-matrix"):
+            rows = executor.run([
+                partial(singleton_row, site_id, experiment_id)
+                for site_id, experiment_id in zip(site_ids, ids)
+            ])
         matrix = RttMatrix()
-        for site_id in site_ids:
-            deployment = self.deploy(AnycastConfig(site_order=(site_id,)))
-            for target in self.targets:
-                true_rtt = deployment.true_rtt(target)
-                if true_rtt is None:
-                    matrix.set(site_id, target.target_id, None)
-                    continue
-                matrix.set(
-                    site_id,
-                    target.target_id,
-                    estimate_rtt(
-                        self.prober,
-                        self.tunnels,
-                        target,
-                        site_id,
-                        true_rtt,
-                        deployment.experiment_id,
-                    ),
-                )
+        for site_id, row in zip(site_ids, rows):
+            for target_id, rtt in row:
+                matrix.set(site_id, target_id, rtt)
         return matrix

@@ -8,7 +8,7 @@ replies are required for a sample.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.measurement.icmp import IcmpProber
 from repro.measurement.targets import PingTarget

@@ -11,7 +11,7 @@ something to filter.
 """
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Sequence
 
 from repro.topology.generator import Internet
 from repro.util.errors import MeasurementError

@@ -11,7 +11,7 @@ a true value and a noisy estimate separately.
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.topology.geo import GeoPoint, propagation_rtt_ms
+from repro.topology.geo import propagation_rtt_ms
 from repro.topology.testbed import Testbed
 from repro.util.errors import MeasurementError
 from repro.util.rng import derive_rng

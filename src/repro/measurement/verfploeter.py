@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Set
 
 from repro.measurement.icmp import IcmpProber
-from repro.measurement.targets import PingTarget, TargetSet
+from repro.measurement.targets import PingTarget
 from repro.util.errors import MeasurementError
 
 

@@ -6,13 +6,15 @@ any plotting dependency:
 - :func:`render_table` — aligned columns with optional float formats;
 - :func:`render_cdf` — an ASCII CDF plot of a sample;
 - :func:`render_histogram` — a horizontal bar histogram;
-- :func:`render_catchment_bars` — per-site catchment share bars.
+- :func:`render_catchment_bars` — per-site catchment share bars;
+- :func:`render_metrics` — campaign counters, timers, and phases.
 """
 
 from repro.report.text import (
     render_catchment_bars,
     render_cdf,
     render_histogram,
+    render_metrics,
     render_table,
 )
 
@@ -20,5 +22,6 @@ __all__ = [
     "render_catchment_bars",
     "render_cdf",
     "render_histogram",
+    "render_metrics",
     "render_table",
 ]

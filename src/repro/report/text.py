@@ -116,6 +116,44 @@ def render_histogram(
     return "\n".join(lines)
 
 
+def render_metrics(snapshot: Dict) -> str:
+    """Render a campaign-metrics snapshot (the dict produced by
+    :meth:`repro.runtime.metrics.MetricsRegistry.snapshot`) as aligned
+    tables: one for counters/timers, one row per campaign phase."""
+    counters = snapshot.get("counters", {})
+    timers = snapshot.get("timers", {})
+    phases = snapshot.get("phases", [])
+    rows = [[name, str(counters[name])] for name in sorted(counters)]
+    rows.extend(
+        [
+            name,
+            f"{timers[name]['total_seconds']:.3f}s / {timers[name]['count']} section(s)",
+        ]
+        for name in sorted(timers)
+    )
+    if not rows and not phases:
+        return "(no campaign metrics recorded)"
+    sections: List[str] = []
+    if rows:
+        sections.append(render_table(["metric", "value"], rows))
+    if phases:
+        phase_rows = [
+            [
+                p["name"],
+                f"{p['wall_seconds']:.3f}",
+                p["counter_deltas"].get("experiments", 0),
+                p["counter_deltas"].get("convergence_cache_hits", 0),
+            ]
+            for p in phases
+        ]
+        sections.append(
+            render_table(
+                ["phase", "wall (s)", "experiments", "cache hits"], phase_rows
+            )
+        )
+    return "\n\n".join(sections)
+
+
 def render_catchment_bars(
     catchment_sizes: Dict[int, int],
     total: Optional[int] = None,

@@ -1,0 +1,45 @@
+"""Campaign runtime: parallel execution, convergence caching, metrics.
+
+The AnyOpt pipeline is dominated by independent BGP experiments —
+singletons, ordered pairwise pairs, one-pass peer trials — that a
+serial loop turns into the campaign's wall-clock floor.  This package
+supplies the runtime machinery the drivers in :mod:`repro.core` and
+:mod:`repro.measurement` thread through their call chains:
+
+- :mod:`repro.runtime.executor` — serial and pooled campaign
+  executors; experiment ids are reserved up front so pooled runs are
+  bit-identical to serial ones;
+- :mod:`repro.runtime.cache` — an exact-input LRU cache of converged
+  BGP states, so redeployments of the same configuration skip
+  re-propagation;
+- :mod:`repro.runtime.metrics` — counters, timers, and per-phase
+  campaign summaries (surfaced via ``AnyOpt.metrics``, the CLI's
+  ``--stats`` flag, and ``repro.report.render_metrics``);
+- :mod:`repro.runtime.settings` — :class:`CampaignSettings`, the
+  single home of every campaign knob, with deprecation shims for the
+  old per-knob constructor arguments.
+"""
+
+from repro.runtime.cache import ConvergenceCache
+from repro.runtime.executor import (
+    CampaignExecutor,
+    PooledExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.runtime.metrics import Counter, MetricsRegistry, PhaseRecord, Timer
+from repro.runtime.settings import CampaignSettings, resolve_settings
+
+__all__ = [
+    "CampaignExecutor",
+    "CampaignSettings",
+    "ConvergenceCache",
+    "Counter",
+    "MetricsRegistry",
+    "PhaseRecord",
+    "PooledExecutor",
+    "SerialExecutor",
+    "Timer",
+    "make_executor",
+    "resolve_settings",
+]

@@ -1,0 +1,170 @@
+"""Counters, timers, and per-phase summaries for measurement campaigns.
+
+Every :class:`~repro.measurement.orchestrator.Orchestrator` owns a
+:class:`MetricsRegistry`; the BGP engine, the convergence cache, and
+the experiment drivers record into it.  The registry answers the
+operational questions a campaign raises — how many BGP experiments
+ran, how many convergences were served from cache, how much wall time
+each phase took — without perturbing the simulation itself (metrics
+never feed back into any seeded RNG stream).
+
+All mutation is thread-safe, because pooled campaign executors update
+counters from worker threads.
+"""
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class Counter:
+    """A named, thread-safe, monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def increment(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+
+class Timer:
+    """Accumulated wall time over any number of timed sections."""
+
+    __slots__ = ("name", "_total_s", "_count", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._total_s = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    @property
+    def total_seconds(self) -> float:
+        return self._total_s
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @contextmanager
+    def time(self):
+        """Time one section: ``with timer.time(): ...``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self._total_s += elapsed
+                self._count += 1
+
+
+@dataclass
+class PhaseRecord:
+    """One completed campaign phase: wall time plus counter deltas."""
+
+    name: str
+    wall_seconds: float
+    counter_deltas: Dict[str, int] = field(default_factory=dict)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of counters, timers, and phase records."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._phases: List[PhaseRecord] = []
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def timer(self, name: str) -> Timer:
+        with self._lock:
+            if name not in self._timers:
+                self._timers[name] = Timer(name)
+            return self._timers[name]
+
+    @property
+    def phases(self) -> List[PhaseRecord]:
+        return list(self._phases)
+
+    def _counter_values(self) -> Dict[str, int]:
+        with self._lock:
+            return {name: c.value for name, c in self._counters.items()}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Record one campaign phase: its wall time and how much each
+        counter advanced while it ran.  Phases may repeat (each entry
+        appends a fresh record) and may nest."""
+        before = self._counter_values()
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            wall = time.perf_counter() - start
+            after = self._counter_values()
+            deltas = {
+                key: after[key] - before.get(key, 0)
+                for key in after
+                if after[key] - before.get(key, 0)
+            }
+            with self._lock:
+                self._phases.append(PhaseRecord(name, wall, deltas))
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """A plain-dict view of everything recorded so far."""
+        return {
+            "counters": self._counter_values(),
+            "timers": {
+                name: {"total_seconds": t.total_seconds, "count": t.count}
+                for name, t in self._timers.items()
+            },
+            "phases": [
+                {
+                    "name": p.name,
+                    "wall_seconds": p.wall_seconds,
+                    "counter_deltas": dict(p.counter_deltas),
+                }
+                for p in self._phases
+            ],
+        }
+
+    def render(self) -> str:
+        """Human-readable summary (the CLI's ``--stats`` section)."""
+        snap = self.snapshot()
+        lines = ["campaign stats:"]
+        for name in sorted(snap["counters"]):
+            lines.append(f"  {name}: {snap['counters'][name]}")
+        for name in sorted(snap["timers"]):
+            t = snap["timers"][name]
+            lines.append(
+                f"  {name}: {t['total_seconds']:.3f}s over {t['count']} section(s)"
+            )
+        if snap["phases"]:
+            lines.append("  phases:")
+            for p in snap["phases"]:
+                deltas = ", ".join(
+                    f"{k}+{v}" for k, v in sorted(p["counter_deltas"].items())
+                )
+                suffix = f" ({deltas})" if deltas else ""
+                lines.append(f"    {p['name']}: {p['wall_seconds']:.3f}s{suffix}")
+        return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Campaign-level settings: one dataclass instead of scattered kwargs.
+
+Historically every noise knob (session churn, RTT drift, delay jitter)
+was a separate constructor argument on both :class:`AnyOpt` and
+:class:`~repro.measurement.orchestrator.Orchestrator`, which made the
+signatures grow with every model refinement.  They now live in a single
+immutable :class:`CampaignSettings` value, alongside the runtime knobs
+(parallelism, convergence cache).  The old kwargs are still accepted —
+they emit a :class:`DeprecationWarning` and are folded into a settings
+value — so existing callers keep working for one deprecation cycle.
+"""
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.errors import ConfigurationError
+
+#: Names of the legacy constructor kwargs that map onto settings fields.
+LEGACY_NOISE_KWARGS = (
+    "session_churn_prob",
+    "rtt_drift_sigma",
+    "rtt_bias_sigma",
+    "bgp_delay_jitter_ms",
+)
+
+
+@dataclass(frozen=True)
+class CampaignSettings:
+    """Everything that tunes how a measurement campaign runs.
+
+    Attributes:
+        session_churn_prob: per-experiment probability that an AS's
+            interior-routing state changed since the topology was
+            built (the measurement-to-deployment drift).
+        rtt_drift_sigma: relative sigma of per-target path-RTT drift.
+        rtt_bias_sigma: relative sigma of the per-experiment epoch bias.
+        bgp_delay_jitter_ms: mean of the per-run exponential jitter on
+            every link's control-plane delay.
+        parallelism: default worker count for campaign execution; 1
+            runs experiments serially.
+        convergence_cache: reuse converged BGP state across identical
+            deployments (bit-identical; see :mod:`repro.runtime.cache`).
+        convergence_cache_size: LRU capacity of that cache.
+    """
+
+    session_churn_prob: float = 0.02
+    rtt_drift_sigma: float = 0.04
+    rtt_bias_sigma: float = 0.03
+    bgp_delay_jitter_ms: float = 20.0
+    parallelism: int = 1
+    convergence_cache: bool = True
+    convergence_cache_size: int = 256
+
+    def __post_init__(self):
+        if not 0.0 <= self.session_churn_prob <= 1.0:
+            raise ConfigurationError("session_churn_prob must be in [0, 1]")
+        if self.rtt_drift_sigma < 0 or self.rtt_bias_sigma < 0:
+            raise ConfigurationError("RTT drift sigmas must be non-negative")
+        if self.bgp_delay_jitter_ms < 0:
+            raise ConfigurationError("bgp_delay_jitter_ms must be non-negative")
+        if self.parallelism < 1:
+            raise ConfigurationError("parallelism must be >= 1")
+        if self.convergence_cache_size < 1:
+            raise ConfigurationError("convergence_cache_size must be >= 1")
+
+    @classmethod
+    def noiseless(cls, **overrides) -> "CampaignSettings":
+        """Settings with every stochastic drift model disabled.
+
+        Deployments become exactly repeatable, which also makes the
+        convergence cache hit on every redeployment of a configuration.
+        """
+        base = dict(
+            session_churn_prob=0.0,
+            rtt_drift_sigma=0.0,
+            rtt_bias_sigma=0.0,
+            bgp_delay_jitter_ms=0.0,
+        )
+        base.update(overrides)
+        return cls(**base)
+
+    def replace(self, **changes) -> "CampaignSettings":
+        """A copy with the given fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+def resolve_settings(
+    settings: Optional[CampaignSettings],
+    caller: str,
+    **legacy_kwargs,
+) -> CampaignSettings:
+    """Fold deprecated per-knob constructor kwargs into settings.
+
+    ``legacy_kwargs`` holds the old constructor arguments with None
+    meaning "not supplied".  Supplying any of them emits a
+    :class:`DeprecationWarning`; combining them with an explicit
+    ``settings`` value is an error because the precedence would be
+    ambiguous.
+    """
+    supplied = {k: v for k, v in legacy_kwargs.items() if v is not None}
+    if not supplied:
+        return settings if settings is not None else CampaignSettings()
+    if settings is not None:
+        raise ConfigurationError(
+            f"{caller}: pass either settings= or the legacy noise kwargs, not both"
+        )
+    warnings.warn(
+        f"{caller}: the {sorted(supplied)} kwargs are deprecated; "
+        "pass settings=CampaignSettings(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return CampaignSettings(**supplied)

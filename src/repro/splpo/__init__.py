@@ -16,12 +16,52 @@ from repro.splpo.greedy import solve_greedy
 from repro.splpo.local_search import solve_local_search
 from repro.splpo.annealing import solve_annealing
 from repro.splpo.reduction import dominating_set_to_splpo
+from repro.splpo.registry import (
+    available_strategies,
+    get_solver,
+    register_solver,
+)
+
+
+# The built-in solvers self-register under their strategy names.  Each
+# adapter maps the uniform registry signature onto the solver's own
+# keywords, dropping the ones that do not apply (e.g. ``sizes`` only
+# restricts exhaustive enumeration).
+
+@register_solver("exhaustive")
+def _exhaustive_strategy(instance, *, seed=0, sizes=None, max_evaluations=None, **kwargs):
+    """Registry adapter for :func:`solve_exhaustive`."""
+    return solve_exhaustive(
+        instance, sizes=sizes, max_evaluations=max_evaluations, **kwargs
+    )
+
+
+@register_solver("greedy")
+def _greedy_strategy(instance, *, seed=0, sizes=None, max_evaluations=None, **kwargs):
+    """Registry adapter for :func:`solve_greedy`."""
+    return solve_greedy(instance, **kwargs)
+
+
+@register_solver("local_search")
+def _local_search_strategy(instance, *, seed=0, sizes=None, max_evaluations=None, **kwargs):
+    """Registry adapter for :func:`solve_local_search`."""
+    return solve_local_search(instance, **kwargs)
+
+
+@register_solver("annealing")
+def _annealing_strategy(instance, *, seed=0, sizes=None, max_evaluations=None, **kwargs):
+    """Registry adapter for :func:`solve_annealing`."""
+    return solve_annealing(instance, seed=seed, **kwargs)
+
 
 __all__ = [
     "Client",
     "SPLPOInstance",
     "SolveResult",
+    "available_strategies",
     "dominating_set_to_splpo",
+    "get_solver",
+    "register_solver",
     "solve_annealing",
     "solve_exhaustive",
     "solve_greedy",

@@ -7,7 +7,7 @@ six-hour offline computation bound (S5.3).
 
 import itertools
 import math
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.splpo.model import SolveResult, SPLPOInstance
 from repro.util.errors import ConfigurationError

@@ -6,7 +6,7 @@ only controls *which* facilities open.
 """
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.util.errors import ConfigurationError, ReproError

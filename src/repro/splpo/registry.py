@@ -1,0 +1,64 @@
+"""Named strategy registry for SPLPO solvers.
+
+``search_configurations`` used to hard-code a string-to-function table,
+so adding a solver meant editing :mod:`repro.core.optimizer`.  The
+registry inverts that: solvers self-register under a strategy name
+(the built-ins do so in :mod:`repro.splpo`'s ``__init__``), and any
+package can add its own via :func:`register_solver`.
+
+Registered solvers share one uniform calling convention::
+
+    solver(instance, *, seed=0, sizes=None, max_evaluations=None, **kwargs)
+
+where ``instance`` is an :class:`~repro.splpo.model.SPLPOInstance` and
+the return value a :class:`~repro.splpo.model.SolveResult`.  Solvers
+are free to ignore the keywords that do not apply to them.
+"""
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.util.errors import ConfigurationError
+
+#: The uniform solver signature (see module docstring).
+SolverFn = Callable[..., object]
+
+_REGISTRY: Dict[str, SolverFn] = {}
+
+
+def register_solver(name: str, solver: Optional[SolverFn] = None):
+    """Register ``solver`` as strategy ``name``.
+
+    Usable directly (``register_solver("greedy", fn)``) or as a
+    decorator (``@register_solver("greedy")``).  Re-registering a name
+    replaces the previous solver, which lets callers shadow a built-in
+    strategy with a tuned variant.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError("solver strategy name must be a non-empty string")
+
+    def _register(fn: SolverFn) -> SolverFn:
+        _REGISTRY[name] = fn
+        return fn
+
+    if solver is None:
+        return _register
+    return _register(solver)
+
+
+def get_solver(name: str) -> SolverFn:
+    """The solver registered as ``name``.
+
+    Raises :class:`ConfigurationError` listing the valid strategies
+    when the name is unknown.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_strategies() -> Tuple[str, ...]:
+    """All registered strategy names, sorted."""
+    return tuple(sorted(_REGISTRY))

@@ -9,10 +9,10 @@ topologies beyond the paper's.
 """
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.topology.generator import Internet
-from repro.topology.geo import GeoPoint, city, propagation_rtt_ms
+from repro.topology.geo import city, propagation_rtt_ms
 from repro.topology.testbed import PeeringLink, Site, Testbed, TestbedParams
 from repro.util.errors import ConfigurationError, TopologyError
 from repro.util.rng import derive_rng

@@ -15,7 +15,6 @@ from typing import Dict, List, Optional, Sequence
 from repro.topology.astopo import AS, ASGraph, Link, Relationship
 from repro.topology.geo import (
     CITIES,
-    FIBER_KM_PER_MS,
     GeoPoint,
     city,
     great_circle_km,

@@ -7,9 +7,8 @@ Table 1's per-site peer counts.
 """
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.topology.astopo import Relationship
 from repro.topology.generator import (
     Internet,
     TopologyParams,

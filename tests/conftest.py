@@ -8,7 +8,7 @@ simulated Internet.  Tests that need noise-free behaviour use the
 
 import pytest
 
-from repro import AnyOpt, select_targets
+from repro import AnyOpt, CampaignSettings, select_targets
 from repro.core import ExperimentRunner
 from repro.measurement import Orchestrator
 from repro.topology import TestbedParams, TopologyParams, build_paper_testbed, generate_internet
@@ -42,13 +42,7 @@ def targets(testbed):
 def clean_orchestrator(testbed, targets):
     """Noise-free orchestrator: deterministic, repeatable deployments."""
     return Orchestrator(
-        testbed,
-        targets,
-        seed=SEED,
-        session_churn_prob=0.0,
-        rtt_drift_sigma=0.0,
-        rtt_bias_sigma=0.0,
-        bgp_delay_jitter_ms=0.0,
+        testbed, targets, seed=SEED, settings=CampaignSettings.noiseless()
     )
 
 

@@ -1,6 +1,5 @@
 """Integration tests for the AnyOpt facade."""
 
-import pytest
 
 from repro.core.config import AnycastConfig
 from repro.core.twolevel import SiteLevelMode
@@ -16,7 +15,7 @@ class TestDiscover:
         analysis predicts for the testbed with pairwise site level."""
         from repro.core.planner import SiteLevelStrategy, plan_measurements
 
-        plan = plan_measurements(
+        plan_measurements(
             15, 6, site_level=SiteLevelStrategy.PAIRWISE, ordered=True
         )
         # Site-level experiments run both orders in our runner, so the

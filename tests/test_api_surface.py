@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.io",
     "repro.measurement",
     "repro.report",
+    "repro.runtime",
     "repro.splpo",
     "repro.topology",
     "repro.util",

@@ -1,6 +1,5 @@
 """Unit tests for the BGP speaker state machine."""
 
-import pytest
 
 from repro.bgp.messages import SitePop
 from repro.bgp.router import BGPSpeaker

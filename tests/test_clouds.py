@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.clouds import CloudPlan, plan_clouds
+from repro.core.clouds import plan_clouds
 from repro.util.errors import ConfigurationError
 
 

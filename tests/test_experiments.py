@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.experiments import ExperimentRunner
 from repro.core.preferences import PreferenceOutcome
 from repro.util.errors import ConfigurationError
 

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.experiments import ExperimentRunner
+from repro.runtime import CampaignSettings
 from repro.core.hybrid import (
-    HybridStats,
     collect_tables,
     infer_preferences,
     select_vantage_points,
@@ -20,9 +20,7 @@ def hybrid_world(testbed, targets):
     from repro.measurement.orchestrator import Orchestrator
 
     orch = Orchestrator(
-        testbed, targets, seed=7,
-        session_churn_prob=0.0, rtt_drift_sigma=0.0,
-        rtt_bias_sigma=0.0, bgp_delay_jitter_ms=0.0,
+        testbed, targets, seed=7, settings=CampaignSettings.noiseless()
     )
     vantages = select_vantage_points(testbed.internet, fraction=0.15, seed=7)
     tables = collect_tables(orch, SITES, vantages)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.config import AnycastConfig
 from repro.measurement.orchestrator import Orchestrator
+from repro.runtime import CampaignSettings
 from repro.util.errors import ConfigurationError
 
 
@@ -44,9 +45,15 @@ class TestDeploy:
 
     def test_invalid_params_rejected(self, testbed, targets):
         with pytest.raises(ConfigurationError):
-            Orchestrator(testbed, targets, session_churn_prob=1.5)
+            Orchestrator(
+                testbed, targets,
+                settings=CampaignSettings(session_churn_prob=1.5),
+            )
         with pytest.raises(ConfigurationError):
-            Orchestrator(testbed, targets, rtt_drift_sigma=-1.0)
+            Orchestrator(
+                testbed, targets,
+                settings=CampaignSettings(rtt_drift_sigma=-1.0),
+            )
 
 
 class TestDeploymentMeasurements:

@@ -4,8 +4,8 @@ import pytest
 
 from repro.core.config import AnycastConfig
 from repro.core.peers import one_pass_peer_selection, probe_peer
+from repro.runtime import CampaignSettings
 from repro.util.errors import ConfigurationError
-from repro.util.stats import mean
 
 
 BASE = AnycastConfig(site_order=(1, 4, 6, 12))
@@ -16,9 +16,7 @@ def peer_report(testbed, targets):
     from repro.measurement.orchestrator import Orchestrator
 
     orch = Orchestrator(
-        testbed, targets, seed=7,
-        session_churn_prob=0.0, rtt_drift_sigma=0.0,
-        rtt_bias_sigma=0.0, bgp_delay_jitter_ms=0.0,
+        testbed, targets, seed=7, settings=CampaignSettings.noiseless()
     )
     return one_pass_peer_selection(orch, BASE, peer_ids=testbed.peer_ids()[:25])
 
@@ -48,9 +46,7 @@ class TestOnePass:
         from repro.measurement.orchestrator import Orchestrator
 
         orch = Orchestrator(
-            testbed, targets, seed=7,
-            session_churn_prob=0.0, rtt_drift_sigma=0.0,
-            rtt_bias_sigma=0.0, bgp_delay_jitter_ms=0.0,
+            testbed, targets, seed=7, settings=CampaignSettings.noiseless()
         )
         one_pass_peer_selection(orch, BASE, peer_ids=testbed.peer_ids()[:5])
         # base + 5 probes + final deployment

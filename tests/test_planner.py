@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.planner import MeasurementPlan, SiteLevelStrategy, plan_measurements
+from repro.core.planner import SiteLevelStrategy, plan_measurements
 from repro.util.errors import ConfigurationError
 
 

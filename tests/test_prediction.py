@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines import random_config
 from repro.core.config import AnycastConfig
-from repro.core.prediction import CatchmentPredictor, PredictionReport
+from repro.core.prediction import PredictionReport
 from repro.util.errors import ReproError
 
 

@@ -1,0 +1,299 @@
+"""The campaign runtime: executors, settings, caching, metrics.
+
+The load-bearing property is determinism: a pooled campaign must be
+bit-identical to the serial reference path for the same seed, because
+experiment ids — not completion times — key every noise stream.
+"""
+
+import pytest
+
+from repro import AnyOpt, CampaignSettings
+from repro.core import ExperimentRunner
+from repro.core.config import AnycastConfig
+from repro.measurement import Orchestrator
+from repro.runtime import (
+    ConvergenceCache,
+    MetricsRegistry,
+    PooledExecutor,
+    SerialExecutor,
+    make_executor,
+    resolve_settings,
+)
+from repro.splpo import available_strategies, get_solver, register_solver
+from repro.splpo.registry import _REGISTRY
+from repro.util.errors import ConfigurationError
+
+from tests.conftest import SEED
+
+
+# --- executors --------------------------------------------------------------
+
+
+def test_make_executor_policy():
+    assert isinstance(make_executor(None), SerialExecutor)
+    assert isinstance(make_executor(1), SerialExecutor)
+    pooled = make_executor(4)
+    assert isinstance(pooled, PooledExecutor)
+    assert pooled.max_workers == 4
+    with pytest.raises(ConfigurationError):
+        make_executor(0)
+
+
+def test_pooled_executor_preserves_task_order():
+    tasks = [lambda i=i: i * i for i in range(40)]
+    assert PooledExecutor(8).run(tasks) == [i * i for i in range(40)]
+
+
+def test_executors_report_progress():
+    for executor in (SerialExecutor(), PooledExecutor(3)):
+        calls = []
+        executor.run(
+            [lambda i=i: i for i in range(7)],
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert len(calls) == 7
+        assert all(total == 7 for _, total in calls)
+        assert sorted(done for done, _ in calls) == list(range(1, 8))
+
+
+# --- settings and the deprecation shim --------------------------------------
+
+
+def test_settings_validation():
+    with pytest.raises(ConfigurationError):
+        CampaignSettings(session_churn_prob=1.5)
+    with pytest.raises(ConfigurationError):
+        CampaignSettings(rtt_drift_sigma=-0.1)
+    with pytest.raises(ConfigurationError):
+        CampaignSettings(parallelism=0)
+    with pytest.raises(ConfigurationError):
+        CampaignSettings(convergence_cache_size=0)
+
+
+def test_noiseless_preset_and_replace():
+    settings = CampaignSettings.noiseless()
+    assert settings.session_churn_prob == 0.0
+    assert settings.rtt_drift_sigma == 0.0
+    assert settings.rtt_bias_sigma == 0.0
+    assert settings.bgp_delay_jitter_ms == 0.0
+    wider = settings.replace(parallelism=8)
+    assert wider.parallelism == 8
+    assert settings.parallelism == 1  # frozen original untouched
+    with pytest.raises(ConfigurationError):
+        settings.replace(parallelism=0)
+
+
+def test_legacy_kwargs_warn_on_orchestrator(testbed, targets):
+    with pytest.warns(DeprecationWarning, match="session_churn_prob"):
+        orch = Orchestrator(testbed, targets, seed=SEED, session_churn_prob=0.0)
+    assert orch.settings.session_churn_prob == 0.0
+    # Unsupplied knobs keep their defaults.
+    assert orch.settings.rtt_drift_sigma == CampaignSettings().rtt_drift_sigma
+
+
+def test_legacy_kwargs_warn_on_anyopt(testbed, targets):
+    with pytest.warns(DeprecationWarning, match="AnyOpt"):
+        anyopt = AnyOpt(testbed, targets=targets, seed=SEED, rtt_drift_sigma=0.0)
+    assert anyopt.settings.rtt_drift_sigma == 0.0
+
+
+def test_settings_and_legacy_kwargs_conflict():
+    with pytest.raises(ConfigurationError, match="not both"):
+        resolve_settings(
+            CampaignSettings(), "Orchestrator", session_churn_prob=0.5
+        )
+
+
+def test_legacy_validation_still_raises(testbed, targets):
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ConfigurationError):
+            Orchestrator(testbed, targets, session_churn_prob=1.5)
+
+
+# --- determinism: pooled == serial ------------------------------------------
+
+
+def test_pairwise_sweep_parallel_matches_serial(testbed, targets):
+    sites = testbed.site_ids()[:4]
+    serial_orch = Orchestrator(testbed, targets, seed=SEED)
+    pooled_orch = Orchestrator(testbed, targets, seed=SEED)
+    serial = ExperimentRunner(serial_orch).pairwise_sweep(sites)
+    pooled = ExperimentRunner(pooled_orch).pairwise_sweep(
+        sites, executor=PooledExecutor(4)
+    )
+    assert serial == pooled
+    assert serial_orch.experiment_count == pooled_orch.experiment_count
+
+
+def test_rtt_matrix_parallel_matches_serial(testbed, targets):
+    serial = Orchestrator(testbed, targets, seed=SEED).measure_rtt_matrix()
+    pooled = Orchestrator(testbed, targets, seed=SEED).measure_rtt_matrix(
+        executor=PooledExecutor(4)
+    )
+    assert serial.values == pooled.values
+
+
+def test_discover_parallel_matches_serial(testbed, targets, anyopt_model):
+    """A pooled campaign reproduces the session's serial model exactly."""
+    pooled = AnyOpt(testbed, targets=targets, seed=SEED).discover(parallelism=4)
+    assert pooled.rtt_matrix.values == anyopt_model.rtt_matrix.values
+    assert pooled.experiments_used == anyopt_model.experiments_used
+    assert pooled.twolevel.provider_matrix == anyopt_model.twolevel.provider_matrix
+    assert pooled.twolevel.site_matrices == anyopt_model.twolevel.site_matrices
+
+
+def test_incorporate_peers_parallel_matches_serial(testbed, targets):
+    config = AnycastConfig(site_order=tuple(testbed.site_ids()[:3]))
+    peer_ids = testbed.peer_ids()[:4]
+    serial = AnyOpt(testbed, targets=targets, seed=SEED).incorporate_peers(
+        config, peer_ids=peer_ids
+    )
+    pooled = AnyOpt(testbed, targets=targets, seed=SEED).incorporate_peers(
+        config, peer_ids=peer_ids, parallelism=4
+    )
+    assert serial.selected_peers == pooled.selected_peers
+    assert [p.peer_id for p in serial.probes] == [p.peer_id for p in pooled.probes]
+    assert [p.mean_rtt_ms for p in serial.probes] == [
+        p.mean_rtt_ms for p in pooled.probes
+    ]
+
+
+# --- convergence cache ------------------------------------------------------
+
+
+def test_noiseless_redeploy_hits_cache(clean_orchestrator):
+    config = AnycastConfig(
+        site_order=tuple(clean_orchestrator.testbed.site_ids()[:3])
+    )
+    first = clean_orchestrator.deploy(config)
+    second = clean_orchestrator.deploy(config)
+    cache = clean_orchestrator.convergence_cache
+    assert cache.misses == 1
+    assert cache.hits == 1
+    # A hit substitutes the identical converged state.
+    assert second.converged is first.converged
+    # ...but the redeployment still counts as a fresh BGP experiment.
+    assert second.experiment_id == first.experiment_id + 1
+
+
+def test_noisy_redeploy_never_hits_cache(noisy_orchestrator):
+    config = AnycastConfig(
+        site_order=tuple(noisy_orchestrator.testbed.site_ids()[:3])
+    )
+    noisy_orchestrator.deploy(config)
+    noisy_orchestrator.deploy(config)
+    cache = noisy_orchestrator.convergence_cache
+    assert cache.hits == 0
+    assert cache.misses == 2
+
+
+def test_cache_disabled_by_settings(testbed, targets):
+    orch = Orchestrator(
+        testbed,
+        targets,
+        seed=SEED,
+        settings=CampaignSettings.noiseless(convergence_cache=False),
+    )
+    assert orch.convergence_cache is None
+    config = AnycastConfig(site_order=tuple(testbed.site_ids()[:2]))
+    first = orch.deploy(config)
+    second = orch.deploy(config)
+    assert second.converged is not first.converged
+
+
+def test_cache_lru_eviction():
+    cache = ConvergenceCache(max_entries=2)
+    cache.store(("a",), "A")
+    cache.store(("b",), "B")
+    assert cache.lookup(("a",)) == "A"  # refreshes ("a",)
+    cache.store(("c",), "C")  # evicts ("b",)
+    assert len(cache) == 2
+    assert cache.lookup(("b",)) is None
+    assert cache.lookup(("a",)) == "A"
+    assert cache.lookup(("c",)) == "C"
+
+
+def test_cache_key_ignores_nonce_without_jitter():
+    key_a = ConvergenceCache.key_for((1, 2), {}, 0.0, 17)
+    key_b = ConvergenceCache.key_for((1, 2), None, 0.0, 99)
+    assert key_a == key_b
+    with_jitter_a = ConvergenceCache.key_for((1, 2), {}, 5.0, 17)
+    with_jitter_b = ConvergenceCache.key_for((1, 2), {}, 5.0, 99)
+    assert with_jitter_a != with_jitter_b
+
+
+# --- metrics ----------------------------------------------------------------
+
+
+def test_metrics_counters_and_timers():
+    metrics = MetricsRegistry()
+    metrics.counter("probes").increment()
+    metrics.counter("probes").increment(2)
+    with metrics.timer("convergence").time():
+        pass
+    snap = metrics.snapshot()
+    assert snap["counters"]["probes"] == 3
+    assert snap["timers"]["convergence"]["count"] == 1
+    assert snap["timers"]["convergence"]["total_seconds"] >= 0.0
+
+
+def test_metrics_phase_records_counter_deltas():
+    metrics = MetricsRegistry()
+    metrics.counter("experiments").increment(5)
+    with metrics.phase("sweep"):
+        metrics.counter("experiments").increment(3)
+    phases = metrics.snapshot()["phases"]
+    assert [p["name"] for p in phases] == ["sweep"]
+    assert phases[0]["counter_deltas"] == {"experiments": 3}
+    assert phases[0]["wall_seconds"] >= 0.0
+
+
+def test_campaign_records_metrics(clean_orchestrator):
+    clean_orchestrator.deploy(
+        AnycastConfig(site_order=tuple(clean_orchestrator.testbed.site_ids()[:2]))
+    )
+    snap = clean_orchestrator.metrics.snapshot()
+    assert snap["counters"]["experiments"] == 1
+    assert snap["counters"]["convergence_runs"] == 1
+    assert snap["counters"]["convergence_messages"] > 0
+    assert snap["timers"]["deploy"]["count"] == 1
+
+
+def test_discover_attaches_metrics_snapshot(anyopt_model):
+    snap = anyopt_model.metrics
+    assert snap is not None
+    assert snap["counters"]["experiments"] == anyopt_model.experiments_used
+    assert any(p["name"] == "discover" for p in snap["phases"])
+
+
+# --- solver registry --------------------------------------------------------
+
+
+def test_builtin_strategies_registered():
+    for name in ("exhaustive", "greedy", "local_search", "annealing"):
+        assert name in available_strategies()
+        assert callable(get_solver(name))
+
+
+def test_unknown_strategy_lists_alternatives():
+    with pytest.raises(ConfigurationError, match="exhaustive"):
+        get_solver("does-not-exist")
+
+
+def test_register_custom_solver():
+    marker = object()
+
+    @register_solver("runtime-test-solver")
+    def _solver(instance, *, seed=0, sizes=None, max_evaluations=None, **kwargs):
+        return marker
+
+    try:
+        assert get_solver("runtime-test-solver")(None) is marker
+        assert "runtime-test-solver" in available_strategies()
+    finally:
+        _REGISTRY.pop("runtime-test-solver", None)
+
+
+def test_register_solver_rejects_bad_names():
+    with pytest.raises(ConfigurationError):
+        register_solver("", lambda instance, **kwargs: None)

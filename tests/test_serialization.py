@@ -18,6 +18,7 @@ from repro.io import (
 # helper names as test functions.
 from repro.io import serialization as ser
 from repro.measurement.orchestrator import Orchestrator
+from repro.runtime import CampaignSettings
 from repro.util.errors import ReproError
 
 
@@ -61,10 +62,7 @@ class TestTestbedRoundTrip:
         original (the bar that matters)."""
         clone = ser.testbed_from_dict(ser.testbed_to_dict(testbed))
         config = AnycastConfig(site_order=(1, 4, 6))
-        kwargs = dict(
-            seed=5, session_churn_prob=0.0, rtt_drift_sigma=0.0,
-            rtt_bias_sigma=0.0, bgp_delay_jitter_ms=0.0,
-        )
+        kwargs = dict(seed=5, settings=CampaignSettings.noiseless())
         dep_a = Orchestrator(testbed, targets, **kwargs).deploy(config)
         dep_b = Orchestrator(clone, targets, **kwargs).deploy(config)
         for t in list(targets)[:80]:

@@ -9,6 +9,7 @@ from repro.core.stability import (
     run_stability_study,
 )
 from repro.measurement.orchestrator import Orchestrator
+from repro.runtime import CampaignSettings
 from repro.util.errors import ConfigurationError
 
 CONFIG = AnycastConfig(site_order=(1, 4, 6, 12))
@@ -39,7 +40,9 @@ class TestRunStudy:
     def test_heavy_churn_triggers_remeasurement(self, testbed, targets):
         orch = Orchestrator(
             testbed, targets, seed=3,
-            session_churn_prob=0.6, rtt_drift_sigma=0.0, rtt_bias_sigma=0.0,
+            settings=CampaignSettings(
+                session_churn_prob=0.6, rtt_drift_sigma=0.0, rtt_bias_sigma=0.0
+            ),
         )
         report = run_stability_study(orch, CONFIG, epochs=2)
         assert report.needs_remeasurement(catchment_threshold=0.97)

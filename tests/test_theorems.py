@@ -15,6 +15,7 @@ from repro.core import ExperimentRunner
 from repro.core.config import AnycastConfig
 from repro.core.twolevel import FlatPreferenceModel
 from repro.measurement.orchestrator import Orchestrator
+from repro.runtime import CampaignSettings
 from repro.topology import TestbedParams, TopologyParams, build_paper_testbed
 from repro.util.rng import derive_rng
 
@@ -47,9 +48,7 @@ def clean_world():
         lossy_fraction=0.0, seed=13,
     )
     orch = Orchestrator(
-        testbed, targets, seed=13,
-        session_churn_prob=0.0, rtt_drift_sigma=0.0,
-        rtt_bias_sigma=0.0, bgp_delay_jitter_ms=0.0,
+        testbed, targets, seed=13, settings=CampaignSettings.noiseless()
     )
     runner = ExperimentRunner(orch)
     matrix = runner.pairwise_sweep(SITES, ordered=True)
@@ -123,9 +122,7 @@ class TestArrivalOrderEmpirically:
             lossy_fraction=0.0, seed=13,
         )
         orch = Orchestrator(
-            testbed, targets, seed=13,
-            session_churn_prob=0.0, rtt_drift_sigma=0.0,
-            rtt_bias_sigma=0.0, bgp_delay_jitter_ms=0.0,
+            testbed, targets, seed=13, settings=CampaignSettings.noiseless()
         )
         runner = ExperimentRunner(orch)
         model = FlatPreferenceModel(runner.pairwise_sweep(SITES, ordered=True))
@@ -161,9 +158,7 @@ class TestFigure3CounterExample:
             lossy_fraction=0.0, seed=29,
         )
         orch = Orchestrator(
-            testbed, targets, seed=29,
-            session_churn_prob=0.0, rtt_drift_sigma=0.0,
-            rtt_bias_sigma=0.0, bgp_delay_jitter_ms=0.0,
+            testbed, targets, seed=29, settings=CampaignSettings.noiseless()
         )
         runner = ExperimentRunner(orch)
         model = FlatPreferenceModel(runner.pairwise_sweep(SITES, ordered=True))

@@ -16,11 +16,10 @@ from repro.util.errors import ConfigurationError, ReproError
 @pytest.fixture(scope="module")
 def clean_model(testbed, targets):
     from repro.measurement.orchestrator import Orchestrator
+    from repro.runtime import CampaignSettings
 
     orch = Orchestrator(
-        testbed, targets, seed=7,
-        session_churn_prob=0.0, rtt_drift_sigma=0.0,
-        rtt_bias_sigma=0.0, bgp_delay_jitter_ms=0.0,
+        testbed, targets, seed=7, settings=CampaignSettings.noiseless()
     )
     runner = ExperimentRunner(orch)
     rtt_matrix = orch.measure_rtt_matrix()

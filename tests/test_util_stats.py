@@ -1,6 +1,5 @@
 """Unit tests for repro.util.stats."""
 
-import math
 
 import pytest
 

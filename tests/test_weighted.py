@@ -1,7 +1,6 @@
 """Tests for workload weights and load-constrained optimization
 (Appendix B extensions)."""
 
-import math
 
 import pytest
 
