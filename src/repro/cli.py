@@ -14,6 +14,7 @@ Also runnable as ``python -m repro ...``.
 """
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -24,6 +25,7 @@ from repro.core.twolevel import SiteLevelMode
 from repro.io import load_model, load_testbed, save_model, save_testbed
 from repro.measurement import select_targets
 from repro.report import render_catchment_bars, render_cdf, render_metrics, render_table
+from repro.runtime.settings import CampaignSettings
 from repro.splpo import available_strategies
 from repro.topology import TestbedParams, TopologyParams, build_paper_testbed
 from repro.util.errors import ReproError
@@ -38,10 +40,49 @@ def _parse_id_list(raw: str) -> tuple:
         ) from None
 
 
+def _positive_int(raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {raw!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _probability(raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {raw!r}") from None
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"expected a probability in [0, 1], got {value}")
+    return value
+
+
+def _settings_from_args(args) -> Optional[CampaignSettings]:
+    """Campaign settings from the fault/retry CLI flags; None when no
+    flag was given, so commands without the flags keep the defaults."""
+    overrides = {}
+    for flag, field in (
+        ("fault_announcement", "fault_announcement_prob"),
+        ("fault_convergence_timeout", "fault_convergence_timeout_prob"),
+        ("fault_probe_blackout", "fault_probe_blackout_prob"),
+        ("fault_session_reset", "fault_session_reset_prob"),
+        ("max_attempts", "retry_max_attempts"),
+    ):
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[field] = value
+    return CampaignSettings(**overrides) if overrides else None
+
+
 def _make_anyopt(args) -> AnyOpt:
     testbed = load_testbed(args.testbed)
     targets = select_targets(testbed.internet, seed=args.seed)
-    anyopt = AnyOpt(testbed, targets=targets, seed=args.seed)
+    anyopt = AnyOpt(
+        testbed, targets=targets, seed=args.seed, settings=_settings_from_args(args)
+    )
     # Remembered so ``main`` can render ``--stats`` after the command.
     args._anyopt = anyopt
     return anyopt
@@ -70,8 +111,36 @@ def cmd_discover(args) -> int:
     anyopt = _make_anyopt(args)
     if args.site_level == "rtt":
         anyopt.site_level_mode = SiteLevelMode.RTT_HEURISTIC
-    model = anyopt.discover(parallelism=args.parallelism)
+    resume_from = None
+    if args.checkpoint and os.path.exists(args.checkpoint):
+        print(f"resuming from checkpoint {args.checkpoint}")
+        resume_from = args.checkpoint
+    model = anyopt.discover(
+        parallelism=args.parallelism,
+        checkpoint_path=args.checkpoint,
+        resume_from=resume_from,
+    )
     save_model(model, args.out)
+    if model.failures:
+        # Counted from the model, not the metrics counters, so a
+        # resumed run reports the campaign's degradation rather than
+        # only this process's share of it.
+        matrices = [
+            model.twolevel.provider_matrix,
+            *model.twolevel.site_matrices.values(),
+        ]
+        undecided = sum(
+            1
+            for matrix in matrices
+            for client in matrix.clients()
+            for pair in matrix.pairs()
+            if (obs := matrix.observation(client, *sorted(pair))) is not None
+            and obs.undecided
+        )
+        print(
+            f"degraded campaign: gave up on {len(model.failures)} experiment(s), "
+            f"{undecided} preference cells left undecided"
+        )
     order = tuple(anyopt.testbed.site_ids())
     with_order = sum(
         1
@@ -160,14 +229,21 @@ def cmd_peers(args) -> int:
         f"{len(beneficial)} beneficial"
     )
     print(f"selected peers: {','.join(map(str, report.selected_peers)) or '(none)'}")
+    measured = (
+        report.final_mean_rtt_ms
+        if report.final_mean_rtt_ms is not None
+        else "(measurement failed)"
+    )
     print(render_table(
         ["metric", "ms"],
         [
             ["baseline mean RTT", report.base_mean_rtt_ms],
             ["estimated with peers", report.estimated_final_mean_rtt_ms],
-            ["measured with peers", report.final_mean_rtt_ms],
+            ["measured with peers", measured],
         ],
     ))
+    if report.failures:
+        print(f"degraded run: gave up on {len(report.failures)} experiment(s)")
     return 0
 
 
@@ -284,6 +360,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="print campaign metrics (experiments, timers, cache hits) at the end",
     )
 
+    # Fault-injection and retry knobs, shared by campaign subcommands.
+    faults = argparse.ArgumentParser(add_help=False)
+    faults.add_argument(
+        "--fault-announcement",
+        type=_probability,
+        default=None,
+        metavar="PROB",
+        help="per-attempt probability of a transient announcement failure",
+    )
+    faults.add_argument(
+        "--fault-convergence-timeout",
+        type=_probability,
+        default=None,
+        metavar="PROB",
+        help="per-attempt probability of a convergence timeout",
+    )
+    faults.add_argument(
+        "--fault-probe-blackout",
+        type=_probability,
+        default=None,
+        metavar="PROB",
+        help="per-attempt probability of losing an experiment's probes",
+    )
+    faults.add_argument(
+        "--fault-session-reset",
+        type=_probability,
+        default=None,
+        metavar="PROB",
+        help="per-attempt probability of an orchestrator session reset",
+    )
+    faults.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=None,
+        help="attempts per experiment before it is recorded as failed",
+    )
+
     p = sub.add_parser("build-testbed", help="generate and save a testbed")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--stubs", type=int, default=600)
@@ -291,15 +404,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_build_testbed)
 
-    p = sub.add_parser("discover", parents=[stats], help="run the measurement campaign")
+    p = sub.add_parser(
+        "discover", parents=[stats, faults], help="run the measurement campaign"
+    )
     p.add_argument("--testbed", required=True)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--site-level", choices=["pairwise", "rtt"], default="pairwise")
     p.add_argument(
         "--parallelism",
-        type=int,
+        type=_positive_int,
         default=None,
         help="worker threads for the campaign (results are identical to serial)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a checkpoint after each phase; if PATH exists, resume from it",
     )
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_discover)
@@ -333,7 +454,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chart", action="store_true", help="also draw the RTT CDF")
     p.set_defaults(func=cmd_catchment)
 
-    p = sub.add_parser("peers", parents=[stats], help="one-pass beneficial-peer selection")
+    p = sub.add_parser(
+        "peers", parents=[stats, faults], help="one-pass beneficial-peer selection"
+    )
     p.add_argument("--testbed", required=True)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--sites", type=_parse_id_list, required=True)

@@ -39,6 +39,9 @@ class AnyOptModel:
     #: Campaign metrics snapshot taken when discovery finished (None
     #: for models loaded from disk); see :mod:`repro.runtime.metrics`.
     metrics: Optional[Dict] = field(default=None, compare=False)
+    #: Experiments the campaign gave up on (degradation report); not
+    #: serialized with the model.
+    failures: list = field(default_factory=list, compare=False)
 
     def total_order(self, client_id: int, site_order: Sequence[int]):
         """Delegate so the model can be used wherever a preference
@@ -71,6 +74,7 @@ class AnyOpt:
         self.settings = resolve_settings(
             settings,
             "AnyOpt",
+            stacklevel=3,
             session_churn_prob=session_churn_prob,
             rtt_drift_sigma=rtt_drift_sigma,
             rtt_bias_sigma=rtt_bias_sigma,
@@ -95,7 +99,12 @@ class AnyOpt:
 
     # -- measurement -------------------------------------------------------
 
-    def discover(self, parallelism: Optional[int] = None) -> AnyOptModel:
+    def discover(
+        self,
+        parallelism: Optional[int] = None,
+        checkpoint_path=None,
+        resume_from=None,
+    ) -> AnyOptModel:
         """Run the full measurement campaign (S4.5 steps 1-2):
         singleton RTT experiments plus two-level pairwise discovery.
 
@@ -105,18 +114,60 @@ class AnyOpt:
         experiments onto an ``N``-worker pool.  Experiment ids are
         reserved in serial order before dispatch, so the resulting
         model is bit-identical either way.
+
+        ``checkpoint_path`` makes discovery write a checkpoint after
+        each completed phase; ``resume_from`` loads one (it must match
+        this campaign's seed, settings, and site-level mode), replays
+        its completed phases, and runs only the remainder — producing
+        a model byte-identical to an uninterrupted run.
         """
+        # Imported lazily: repro.io imports repro.core.anyopt for the
+        # model serializer, so a module-level import would be a cycle.
+        from repro.io import checkpoint as checkpoint_io
+
         executor = make_executor(
             self.settings.parallelism if parallelism is None else parallelism
         )
         before = self.orchestrator.experiment_count
+        failures_before = len(self.orchestrator.failures)
+
+        if resume_from is not None:
+            progress = checkpoint_io.load_checkpoint(
+                resume_from, self.seed, self.settings, self.site_level_mode
+            )
+            # Completed phases already consumed ids 1..k; mark them
+            # spent so the remaining phases draw the same ids they
+            # would have in the uninterrupted run.
+            self.orchestrator.restore_experiment_state(progress.experiment_count)
+            for failure in progress.failures:
+                self.orchestrator.record_failure(failure)
+        else:
+            progress = checkpoint_io.DiscoveryProgress(
+                seed=self.seed,
+                settings=self.settings,
+                site_level_mode=self.site_level_mode,
+            )
+
+        def save() -> None:
+            progress.experiment_count = self.orchestrator.experiment_count
+            progress.failures = list(self.orchestrator.failures[failures_before:])
+            if checkpoint_path is not None:
+                checkpoint_io.save_checkpoint(progress, checkpoint_path)
+
         with self.metrics.phase("discover"):
-            rtt_matrix = self.orchestrator.measure_rtt_matrix(executor=executor)
+            if progress.rtt_matrix is not None:
+                rtt_matrix = progress.rtt_matrix
+            else:
+                rtt_matrix = self.orchestrator.measure_rtt_matrix(executor=executor)
+                progress.rtt_matrix = rtt_matrix
+                save()
             twolevel = discover_two_level(
                 self.runner,
                 rtt_matrix=rtt_matrix,
                 site_level_mode=self.site_level_mode,
                 executor=executor,
+                progress=progress,
+                checkpoint=save,
             )
         return AnyOptModel(
             testbed=self.testbed,
@@ -125,6 +176,7 @@ class AnyOpt:
             predictor=CatchmentPredictor(twolevel, rtt_matrix),
             experiments_used=self.orchestrator.experiment_count - before,
             metrics=self.metrics.snapshot(),
+            failures=list(self.orchestrator.failures[failures_before:]),
         )
 
     # -- offline computation ---------------------------------------------------

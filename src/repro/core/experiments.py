@@ -17,7 +17,8 @@ from repro.core.preferences import PairObservation, PreferenceMatrix
 from repro.measurement.orchestrator import Orchestrator
 from repro.measurement.verfploeter import CatchmentMap
 from repro.runtime.executor import CampaignExecutor, ProgressFn, SerialExecutor
-from repro.util.errors import ConfigurationError
+from repro.runtime.retry import FailedExperiment
+from repro.util.errors import ConfigurationError, MeasurementError
 
 
 @dataclass
@@ -141,6 +142,22 @@ class ExperimentRunner:
 
     # -- sweeps ---------------------------------------------------------------
 
+    def _degradable(self, task, kind: str, subject: str, experiment_ids):
+        """Wrap an experiment thunk so retries-exhausted failures come
+        back as :class:`FailedExperiment` values instead of exceptions.
+
+        Workers only *return* the record; the main-thread collection
+        loop records it, so the failure log order is the task order
+        regardless of executor."""
+
+        def run():
+            try:
+                return task()
+            except MeasurementError as exc:
+                return FailedExperiment.from_error(kind, subject, experiment_ids, exc)
+
+        return run
+
     def pairwise_tasks(
         self, sites: Sequence[Tuple[int, int]], ordered: bool = True
     ):
@@ -150,11 +167,14 @@ class ExperimentRunner:
         tasks = []
         for a, b in sites:
             if ordered:
-                ids = self.orchestrator.reserve_experiment_ids(2)
-                tasks.append(partial(self.run_pairwise, a, b, tuple(ids)))
+                ids = tuple(self.orchestrator.reserve_experiment_ids(2))
+                task = partial(self.run_pairwise, a, b, ids)
             else:
-                ids = self.orchestrator.reserve_experiment_ids(1)
-                tasks.append(partial(self.run_pairwise_simultaneous, a, b, ids[0]))
+                ids = tuple(self.orchestrator.reserve_experiment_ids(1))
+                task = partial(self.run_pairwise_simultaneous, a, b, ids[0])
+            tasks.append(
+                self._degradable(task, "pairwise", f"pair ({a}, {b})", ids)
+            )
         return tasks
 
     def pairwise_sweep(
@@ -171,13 +191,27 @@ class ExperimentRunner:
         experiment ids are reserved in pair order first, so the matrix
         is identical to a serial sweep.  ``progress`` is called as
         ``progress(done, total)`` after each pair completes.
+
+        A pair whose experiment exhausted its retries degrades to an
+        explicit :attr:`PreferenceOutcome.UNDECIDED
+        <repro.core.preferences.PreferenceOutcome.UNDECIDED>` cell for
+        every client, and the failure is recorded on the orchestrator.
         """
         sites = sorted(set(site_ids))
         pairs = [(a, b) for i, a in enumerate(sites) for b in sites[i + 1:]]
         executor = executor if executor is not None else SerialExecutor()
         results = executor.run(self.pairwise_tasks(pairs, ordered=ordered), progress=progress)
         matrix = PreferenceMatrix()
-        for result in results:
+        undecided = self.orchestrator.metrics.counter("undecided_cells")
+        for (a, b), result in zip(pairs, results):
+            if isinstance(result, FailedExperiment):
+                self.orchestrator.record_failure(result)
+                for target in self.orchestrator.targets:
+                    matrix.record(
+                        target.target_id, PairObservation.undecided_pair(a, b)
+                    )
+                    undecided.increment()
+                continue
             for target in self.orchestrator.targets:
                 matrix.record(target.target_id, result.observation(target.target_id))
         return matrix

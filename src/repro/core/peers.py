@@ -8,14 +8,15 @@ that a newly added peer captures its entire one-pass catchment — a
 peer is kept only if the estimate still improves.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.config import AnycastConfig
 from repro.measurement.orchestrator import Orchestrator
 from repro.runtime.executor import CampaignExecutor, SerialExecutor
-from repro.util.errors import ConfigurationError
+from repro.runtime.retry import FailedExperiment
+from repro.util.errors import ConfigurationError, MeasurementError
 from repro.util.stats import mean
 
 
@@ -41,15 +42,21 @@ class PeerProbeResult:
 
 @dataclass
 class OnePassReport:
-    """Full outcome of the one-pass heuristic."""
+    """Full outcome of the one-pass heuristic.
+
+    ``final_mean_rtt_ms`` is None when the final deployment (or its
+    measurement) failed after retries; ``failures`` lists every probe
+    or deployment the heuristic had to give up on.
+    """
 
     base_config: AnycastConfig
     base_mean_rtt_ms: float
     probes: List[PeerProbeResult]
     selected_peers: Tuple[int, ...]
     final_config: AnycastConfig
-    final_mean_rtt_ms: float
+    final_mean_rtt_ms: Optional[float]
     estimated_final_mean_rtt_ms: float
+    failures: List[FailedExperiment] = field(default_factory=list)
 
     def beneficial_peers(self) -> List[int]:
         return [p.peer_id for p in self.probes if p.beneficial]
@@ -110,6 +117,11 @@ def one_pass_peer_selection(
     The M single-peer trials are independent, so ``executor`` may run
     them concurrently; ids are reserved in peer order, keeping the
     report identical to the serial protocol.
+
+    Probes that exhaust their retries are recorded as failures and
+    skipped by the greedy selection; a failed final deployment leaves
+    ``final_mean_rtt_ms`` as None.  Only an unreachable *base*
+    deployment aborts the heuristic, since every delta depends on it.
     """
     if base_config.peer_ids:
         raise ConfigurationError("base configuration must be transit-only")
@@ -117,6 +129,7 @@ def one_pass_peer_selection(
         list(peer_ids) if peer_ids is not None else orchestrator.testbed.peer_ids()
     )
     executor = executor if executor is not None else SerialExecutor()
+    failures: List[FailedExperiment] = []
 
     base = orchestrator.deploy(base_config)
     base_rtts: Dict[int, float] = {}
@@ -124,14 +137,37 @@ def one_pass_peer_selection(
         measured = base.measure_rtt(target)
         if measured is not None:
             base_rtts[target.target_id] = measured
+    if not base_rtts:
+        raise MeasurementError(
+            "one-pass baseline unusable: no target reached the transit-only "
+            "base deployment"
+        )
     base_mean = mean(base_rtts.values())
+
+    def degradable_probe(peer_id: int, exp_id: int):
+        def run():
+            try:
+                return probe_peer(orchestrator, base_config, peer_id, base_mean, exp_id)
+            except MeasurementError as exc:
+                return FailedExperiment.from_error(
+                    "peer-probe", f"peer {peer_id}", (exp_id,), exc
+                )
+
+        return run
 
     probe_ids = orchestrator.reserve_experiment_ids(len(peer_ids))
     with orchestrator.metrics.phase("one-pass-peers"):
-        probes = executor.run([
-            partial(probe_peer, orchestrator, base_config, peer_id, base_mean, exp_id)
+        outcomes = executor.run([
+            degradable_probe(peer_id, exp_id)
             for peer_id, exp_id in zip(peer_ids, probe_ids)
         ])
+    probes: List[PeerProbeResult] = []
+    for outcome in outcomes:
+        if isinstance(outcome, FailedExperiment):
+            orchestrator.record_failure(outcome)
+            failures.append(outcome)
+        else:
+            probes.append(outcome)
 
     # Greedy selection in descending catchment size, conservative
     # whole-catchment switch assumption.
@@ -151,13 +187,24 @@ def one_pass_peer_selection(
             current_mean = candidate_mean
 
     final_config = base_config.with_peers(tuple(selected))
-    final = orchestrator.deploy(final_config)
+    final_ids = orchestrator.reserve_experiment_ids(1)
+    final_mean: Optional[float] = None
+    try:
+        final = orchestrator.deploy(final_config, experiment_id=final_ids[0])
+        final_mean = final.measure_mean_rtt()
+    except MeasurementError as exc:
+        failure = FailedExperiment.from_error(
+            "deployment", "final one-pass configuration", final_ids, exc
+        )
+        orchestrator.record_failure(failure)
+        failures.append(failure)
     return OnePassReport(
         base_config=base_config,
         base_mean_rtt_ms=base_mean,
         probes=probes,
         selected_peers=tuple(selected),
         final_config=final_config,
-        final_mean_rtt_ms=final.measure_mean_rtt(),
+        final_mean_rtt_ms=final_mean,
         estimated_final_mean_rtt_ms=current_mean,
+        failures=failures,
     )

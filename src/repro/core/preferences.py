@@ -30,6 +30,9 @@ class PreferenceOutcome(enum.Enum):
     ORDER_DEPENDENT = "order_dependent"
     INCONSISTENT = "inconsistent"
     UNKNOWN = "unknown"
+    #: The pairwise experiment itself failed (exhausted its retries);
+    #: the cell is explicitly undecided rather than merely unmeasured.
+    UNDECIDED = "undecided"
 
 
 @dataclass(frozen=True)
@@ -39,12 +42,18 @@ class PairObservation:
     ``winner_a_first`` is the client's catchment when ``site_a`` was
     announced before ``site_b``; ``winner_b_first`` when the order was
     reversed.  None means the client was unmapped in that run.
+
+    ``undecided`` marks a pair whose experiment itself failed
+    (retries exhausted in a degraded campaign): the cell is carried
+    explicitly, with both winners None, so downstream consumers can
+    distinguish "experiment never completed" from "client unmapped".
     """
 
     site_a: int
     site_b: int
     winner_a_first: Optional[int]
     winner_b_first: Optional[int]
+    undecided: bool = False
 
     def __post_init__(self):
         if self.site_a == self.site_b:
@@ -54,10 +63,21 @@ class PairObservation:
                 raise ReproError(
                     f"winner {winner} is neither {self.site_a} nor {self.site_b}"
                 )
+        if self.undecided and not (
+            self.winner_a_first is None and self.winner_b_first is None
+        ):
+            raise ReproError("an undecided pair cannot have winners")
+
+    @classmethod
+    def undecided_pair(cls, site_a: int, site_b: int) -> "PairObservation":
+        """The explicit UNDECIDED cell a failed experiment leaves behind."""
+        return cls(site_a, site_b, None, None, undecided=True)
 
     def outcome(self) -> PreferenceOutcome:
         a, b = self.site_a, self.site_b
         w1, w2 = self.winner_a_first, self.winner_b_first
+        if self.undecided:
+            return PreferenceOutcome.UNDECIDED
         if w1 is None or w2 is None:
             return PreferenceOutcome.UNKNOWN
         if w1 == w2:

@@ -16,7 +16,7 @@ from typing import List, Optional
 from repro.core.config import AnycastConfig
 from repro.measurement.orchestrator import Orchestrator
 from repro.measurement.verfploeter import CatchmentMap
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, MeasurementError
 
 
 @dataclass(frozen=True)
@@ -97,12 +97,23 @@ def run_stability_study(
     """
     if epochs < 1:
         raise ConfigurationError("need at least one follow-up epoch")
+
+    def epoch_mean_rtt(deployment, epoch: int) -> float:
+        # measure_mean_rtt returns None when every target was
+        # unreachable; a stability study cannot interpolate over that.
+        measured = deployment.measure_mean_rtt()
+        if measured is None:
+            raise MeasurementError(
+                f"stability epoch {epoch}: no target reachable, mean RTT undefined"
+            )
+        return measured
+
     baseline_dep = orchestrator.deploy(config)
     baseline_map = baseline_dep.measure_catchments()
     snapshots = [
         StabilitySnapshot(
             epoch=0,
-            mean_rtt_ms=baseline_dep.measure_mean_rtt(),
+            mean_rtt_ms=epoch_mean_rtt(baseline_dep, 0),
             mapped_targets=baseline_map.mapped_count(),
             unchanged_fraction=None,
         )
@@ -113,7 +124,7 @@ def run_stability_study(
         snapshots.append(
             StabilitySnapshot(
                 epoch=epoch,
-                mean_rtt_ms=deployment.measure_mean_rtt(),
+                mean_rtt_ms=epoch_mean_rtt(deployment, epoch),
                 mapped_targets=cmap.mapped_count(),
                 unchanged_fraction=_unchanged_fraction(baseline_map, cmap),
             )

@@ -25,6 +25,7 @@ from repro.core.preferences import (
 )
 from repro.measurement.rtt import RttMatrix
 from repro.runtime.executor import CampaignExecutor, SerialExecutor
+from repro.runtime.retry import FailedExperiment
 from repro.topology.testbed import Testbed
 from repro.util.errors import ConfigurationError, ReproError
 
@@ -143,6 +144,8 @@ def discover_two_level(
     ordered: bool = True,
     providers: Optional[Sequence[int]] = None,
     executor: Optional[CampaignExecutor] = None,
+    progress=None,
+    checkpoint=None,
 ) -> TwoLevelModel:
     """Run the two-level discovery experiments of S4.3.
 
@@ -153,6 +156,17 @@ def discover_two_level(
     independent pairwise experiments concurrently; experiment ids are
     reserved in serial order first, so results are identical to a
     serial campaign.
+
+    ``progress`` is an optional resumable-state object (duck-typed:
+    attributes ``provider_matrix`` and ``site_matrices``); phases whose
+    results it already holds are skipped, and freshly computed results
+    are written back into it.  ``checkpoint`` is an optional callback
+    invoked after each completed phase so the caller can persist
+    ``progress``.
+
+    Provider pairs whose experiments exhausted their retries degrade to
+    explicit UNDECIDED cells in provider-ASN space; the campaign keeps
+    going and records the failures on the orchestrator.
     """
     testbed = runner.orchestrator.testbed
     metrics = runner.orchestrator.metrics
@@ -161,31 +175,47 @@ def discover_two_level(
 
     # Provider-level: one representative site per provider; record
     # observations in provider-ASN space.
-    provider_matrix = PreferenceMatrix()
     reps = {p: testbed.representative_site(p) for p in provider_list}
     site_to_provider = {s: p for p, s in reps.items()}
-    provider_pairs = [
-        (pa, pb)
-        for i, pa in enumerate(provider_list)
-        for pb in provider_list[i + 1:]
-    ]
-    with metrics.phase("provider-pairwise"):
-        tasks = runner.pairwise_tasks(
-            [(reps[pa], reps[pb]) for pa, pb in provider_pairs], ordered=ordered
-        )
-        results = executor.run(tasks)
-    for (pa, pb), result in zip(provider_pairs, results):
-        for target in runner.orchestrator.targets:
-            obs = result.observation(target.target_id)
-            provider_matrix.record(
-                target.target_id,
-                PairObservation(
-                    site_a=pa,
-                    site_b=pb,
-                    winner_a_first=site_to_provider.get(obs.winner_a_first),
-                    winner_b_first=site_to_provider.get(obs.winner_b_first),
-                ),
+    if progress is not None and progress.provider_matrix is not None:
+        provider_matrix = progress.provider_matrix
+    else:
+        provider_matrix = PreferenceMatrix()
+        provider_pairs = [
+            (pa, pb)
+            for i, pa in enumerate(provider_list)
+            for pb in provider_list[i + 1:]
+        ]
+        undecided = metrics.counter("undecided_cells")
+        with metrics.phase("provider-pairwise"):
+            tasks = runner.pairwise_tasks(
+                [(reps[pa], reps[pb]) for pa, pb in provider_pairs], ordered=ordered
             )
+            results = executor.run(tasks)
+        for (pa, pb), result in zip(provider_pairs, results):
+            if isinstance(result, FailedExperiment):
+                runner.orchestrator.record_failure(result)
+                for target in runner.orchestrator.targets:
+                    provider_matrix.record(
+                        target.target_id, PairObservation.undecided_pair(pa, pb)
+                    )
+                    undecided.increment()
+                continue
+            for target in runner.orchestrator.targets:
+                obs = result.observation(target.target_id)
+                provider_matrix.record(
+                    target.target_id,
+                    PairObservation(
+                        site_a=pa,
+                        site_b=pb,
+                        winner_a_first=site_to_provider.get(obs.winner_a_first),
+                        winner_b_first=site_to_provider.get(obs.winner_b_first),
+                    ),
+                )
+        if progress is not None:
+            progress.provider_matrix = provider_matrix
+        if checkpoint is not None:
+            checkpoint()
 
     # Site-level: pairwise inside each provider, or nothing for the
     # RTT heuristic.
@@ -193,12 +223,19 @@ def discover_two_level(
     if site_level_mode is SiteLevelMode.PAIRWISE:
         with metrics.phase("site-pairwise"):
             for provider in provider_list:
+                if progress is not None and provider in progress.site_matrices:
+                    site_matrices[provider] = progress.site_matrices[provider]
+                    continue
                 sites = testbed.sites_of_provider(provider)
                 site_matrices[provider] = (
                     runner.pairwise_sweep(sites, ordered=True, executor=executor)
                     if len(sites) > 1
                     else PreferenceMatrix()
                 )
+                if progress is not None:
+                    progress.site_matrices[provider] = site_matrices[provider]
+                if checkpoint is not None:
+                    checkpoint()
     elif rtt_matrix is None:
         raise ReproError("the RTT heuristic needs a measured RTT matrix")
 

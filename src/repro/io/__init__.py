@@ -8,9 +8,19 @@ campaign can be split across processes (and so the CLI can chain
   Internet plus sites and peering links;
 - :func:`save_model` / :func:`load_model` — a discovered
   :class:`~repro.core.anyopt.AnyOptModel` (RTT matrix + preference
-  matrices).
+  matrices);
+- :func:`save_checkpoint` / :func:`load_checkpoint` — partial
+  discovery state (:class:`~repro.io.checkpoint.DiscoveryProgress`)
+  for resuming an interrupted campaign.
 """
 
+from repro.io.checkpoint import (
+    DiscoveryProgress,
+    load_checkpoint,
+    progress_from_dict,
+    progress_to_dict,
+    save_checkpoint,
+)
 from repro.io.serialization import (
     load_model,
     load_testbed,
@@ -23,10 +33,15 @@ from repro.io.serialization import (
 )
 
 __all__ = [
+    "DiscoveryProgress",
+    "load_checkpoint",
     "load_model",
     "load_testbed",
     "model_from_dict",
     "model_to_dict",
+    "progress_from_dict",
+    "progress_to_dict",
+    "save_checkpoint",
     "save_model",
     "save_testbed",
     "testbed_from_dict",

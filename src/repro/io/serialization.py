@@ -179,7 +179,10 @@ def load_testbed(path) -> Testbed:
 # --- discovered model -------------------------------------------------------
 
 
-def _matrix_to_list(matrix: PreferenceMatrix):
+def matrix_to_list(matrix: PreferenceMatrix):
+    """Flatten a preference matrix into sorted 6-column rows:
+    ``[client, site_a, site_b, winner_a_first, winner_b_first,
+    undecided]``."""
     out = []
     for client in matrix.clients():
         for pair in matrix.pairs():
@@ -188,16 +191,32 @@ def _matrix_to_list(matrix: PreferenceMatrix):
             if obs is None:
                 continue
             out.append(
-                [client, obs.site_a, obs.site_b, obs.winner_a_first, obs.winner_b_first]
+                [
+                    client,
+                    obs.site_a,
+                    obs.site_b,
+                    obs.winner_a_first,
+                    obs.winner_b_first,
+                    obs.undecided,
+                ]
             )
     return out
 
 
-def _matrix_from_list(raw) -> PreferenceMatrix:
+def matrix_from_list(raw) -> PreferenceMatrix:
+    """Rebuild a matrix from :func:`matrix_to_list` rows.  Accepts the
+    legacy 5-column rows (no ``undecided`` flag) as well."""
     matrix = PreferenceMatrix()
-    for client, a, b, w1, w2 in raw:
-        matrix.record(client, PairObservation(a, b, w1, w2))
+    for row in raw:
+        client, a, b, w1, w2 = row[:5]
+        undecided = bool(row[5]) if len(row) > 5 else False
+        matrix.record(client, PairObservation(a, b, w1, w2, undecided=undecided))
     return matrix
+
+
+# Former internal names, kept for in-repo callers.
+_matrix_to_list = matrix_to_list
+_matrix_from_list = matrix_from_list
 
 
 def model_to_dict(model: AnyOptModel) -> Dict:

@@ -24,7 +24,9 @@ from repro.measurement.tunnels import TunnelManager
 from repro.measurement.verfploeter import CatchmentMap, measure_catchments
 from repro.runtime.cache import ConvergenceCache
 from repro.runtime.executor import CampaignExecutor, SerialExecutor
+from repro.runtime.faults import FaultInjector
 from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.retry import FailedExperiment, RetryPolicy, run_with_retry
 from repro.runtime.settings import CampaignSettings, resolve_settings
 from repro.topology.astopo import Relationship
 from repro.topology.testbed import Testbed
@@ -50,6 +52,31 @@ class Deployment:
             orchestrator.testbed.internet, converged, flow_nonce=experiment_id
         )
         self._forwarding_cache: Dict[int, Optional[ForwardingOutcome]] = {}
+        self._probe_session_ok = False
+
+    def _ensure_probe_session(self) -> None:
+        """Survive injected probe blackouts before any measurement.
+
+        A blackout kills every probe of the measurement session; the
+        retry policy re-establishes the session in virtual time.  The
+        check runs once per deployment (the blackout stream is keyed
+        per experiment) and raises
+        :class:`~repro.util.errors.RetriesExhaustedError` when the
+        blackout outlasts the retry budget.
+        """
+        if self._probe_session_ok:
+            return
+        orchestrator = self.orchestrator
+        if orchestrator.faults.enabled("probe-blackout"):
+            run_with_retry(
+                lambda attempt: orchestrator.faults.raise_if(
+                    "probe-blackout", self.experiment_id, attempt
+                ),
+                orchestrator.retry_policy,
+                metrics=orchestrator.metrics,
+                description=f"probe session of experiment {self.experiment_id}",
+            )
+        self._probe_session_ok = True
 
     # -- data plane ---------------------------------------------------------
 
@@ -80,11 +107,13 @@ class Deployment:
 
     def measure_catchments(self, targets: Optional[Iterable[PingTarget]] = None) -> CatchmentMap:
         """Verfploeter-style catchment map of this deployment."""
+        self._ensure_probe_session()
         targets = self.orchestrator.targets if targets is None else targets
         return measure_catchments(self, targets, self.orchestrator.prober)
 
     def measure_rtt(self, target: PingTarget) -> Optional[float]:
         """Median-of-seven RTT estimate to the target's catchment site."""
+        self._ensure_probe_session()
         outcome = self.forwarding(target)
         if outcome is None:
             return None
@@ -97,15 +126,22 @@ class Deployment:
             self.experiment_id,
         )
 
-    def measure_mean_rtt(self, targets: Optional[Iterable[PingTarget]] = None) -> float:
+    def measure_mean_rtt(
+        self, targets: Optional[Iterable[PingTarget]] = None
+    ) -> Optional[float]:
         """Mean measured RTT over all reachable targets — the paper's
-        per-configuration performance figure (S5.2/S5.3)."""
+        per-configuration performance figure (S5.2/S5.3).
+
+        Returns None when *no* target produced a sample (every probe
+        lost, or an empty target set): an all-unreachable deployment
+        is a typed empty outcome, not an exception, so optimizer and
+        baseline sweeps can skip the configuration and continue.
+        """
         targets = self.orchestrator.targets if targets is None else targets
         rtts = [r for r in (self.measure_rtt(t) for t in targets) if r is not None]
         if not rtts:
-            raise MeasurementError(
-                f"experiment {self.experiment_id}: no target reached any site"
-            )
+            self.orchestrator.metrics.counter("measurements_empty").increment()
+            return None
         return mean(rtts)
 
 
@@ -148,6 +184,7 @@ class Orchestrator:
         self.settings = resolve_settings(
             settings,
             "Orchestrator",
+            stacklevel=3,
             session_churn_prob=session_churn_prob,
             rtt_drift_sigma=rtt_drift_sigma,
             rtt_bias_sigma=rtt_bias_sigma,
@@ -171,8 +208,17 @@ class Orchestrator:
         )
         self.prober = IcmpProber(seed=seed)
         self.tunnels = TunnelManager(testbed, seed=seed)
+        self.faults = FaultInjector(seed, self.settings, metrics=self.metrics)
+        self.retry_policy = RetryPolicy.from_settings(self.settings)
         self._experiment_count = 0
         self._id_lock = threading.Lock()
+        #: Ids already consumed by a deployment (reuse is an error).
+        self._used_ids: set = set()
+        #: Ids at or below this floor are consumed (checkpoint restore).
+        self._used_floor = 0
+        #: Experiments the campaign gave up on, in campaign order.
+        self.failures: List[FailedExperiment] = []
+        self._failure_lock = threading.Lock()
 
     @property
     def experiment_count(self) -> int:
@@ -197,6 +243,56 @@ class Orchestrator:
             self._experiment_count += count
         return range(start, start + count)
 
+    def _claim_experiment_id(self, experiment_id: Optional[int]) -> int:
+        """Validate and consume one experiment id.
+
+        A reused or never-reserved id would duplicate noise streams and
+        silently corrupt pooled-vs-serial determinism, so both are
+        rejected with :class:`ConfigurationError`.
+        """
+        with self._id_lock:
+            if experiment_id is None:
+                self._experiment_count += 1
+                experiment_id = self._experiment_count
+            elif experiment_id < 1 or experiment_id > self._experiment_count:
+                raise ConfigurationError(
+                    f"experiment id {experiment_id} was never reserved "
+                    f"(reserved ids run 1..{self._experiment_count}); use "
+                    "reserve_experiment_ids()"
+                )
+            elif experiment_id <= self._used_floor or experiment_id in self._used_ids:
+                raise ConfigurationError(
+                    f"experiment id {experiment_id} was already deployed; "
+                    "reusing an id would duplicate its noise streams"
+                )
+            self._used_ids.add(experiment_id)
+        return experiment_id
+
+    def restore_experiment_state(self, experiment_count: int) -> None:
+        """Fast-forward the id space past a checkpoint's experiments.
+
+        Ids ``1..experiment_count`` are treated as consumed, so a
+        resumed campaign reserves exactly the ids an uninterrupted run
+        would have used for the remaining experiments — which is what
+        keeps the resumed model bit-identical.
+        """
+        with self._id_lock:
+            if experiment_count < self._experiment_count:
+                raise ConfigurationError(
+                    f"cannot restore experiment count to {experiment_count}: "
+                    f"{self._experiment_count} experiments already reserved"
+                )
+            self._experiment_count = experiment_count
+            self._used_floor = experiment_count
+            self._used_ids.clear()
+
+    def record_failure(self, failure: FailedExperiment) -> None:
+        """Record one degraded experiment (drivers call this in task
+        order, so the failure log is deterministic under pooling)."""
+        with self._failure_lock:
+            self.failures.append(failure)
+        self.metrics.counter("experiments_failed").increment()
+
     def deploy(
         self, config: AnycastConfig, experiment_id: Optional[int] = None
     ) -> Deployment:
@@ -204,17 +300,35 @@ class Orchestrator:
 
         ``experiment_id`` accepts an id obtained from
         :meth:`reserve_experiment_ids`; by default the next id is
-        claimed on the spot (the serial path).
+        claimed on the spot (the serial path).  Injected transient
+        faults (session resets, announcement failures, convergence
+        timeouts) are retried under the settings' retry policy; when
+        the budget runs out the typed
+        :class:`~repro.util.errors.RetriesExhaustedError` escapes for
+        the campaign driver to record.
         """
-        if experiment_id is None:
-            experiment_id = self.reserve_experiment_ids(1)[0]
-        with self.metrics.timer("deploy").time():
-            converged = self.engine.run(
-                self._injections(config),
-                igp_overlay=self._igp_overlay(experiment_id),
-                delay_jitter_ms=self.bgp_delay_jitter_ms,
-                delay_nonce=experiment_id,
-            )
+        experiment_id = self._claim_experiment_id(experiment_id)
+        injections = self._injections(config)
+
+        def attempt_deploy(attempt: int) -> ConvergedState:
+            self.faults.raise_if("session-reset", experiment_id, attempt)
+            self.faults.raise_if("announcement", experiment_id, attempt)
+            with self.metrics.timer("deploy").time():
+                converged = self.engine.run(
+                    injections,
+                    igp_overlay=self._igp_overlay(experiment_id),
+                    delay_jitter_ms=self.bgp_delay_jitter_ms,
+                    delay_nonce=experiment_id,
+                )
+            self.faults.raise_if("convergence-timeout", experiment_id, attempt)
+            return converged
+
+        converged = run_with_retry(
+            attempt_deploy,
+            self.retry_policy,
+            metrics=self.metrics,
+            description=f"deployment of experiment {experiment_id}",
+        )
         self.metrics.counter("experiments").increment()
         return Deployment(self, config, converged, experiment_id)
 
@@ -312,18 +426,27 @@ class Orchestrator:
         The singletons are independent, so ``executor`` may run them
         concurrently; ids are reserved in site order, keeping the
         result identical to the serial sweep.
+
+        A singleton whose experiment exhausts its retries degrades
+        gracefully: that site's row is recorded as all-None (no usable
+        RTT samples) and the failure lands in :attr:`failures`.
         """
         site_ids = self.testbed.site_ids() if site_ids is None else list(site_ids)
         executor = executor if executor is not None else SerialExecutor()
 
-        def singleton_row(site_id: int, experiment_id: int) -> List[Tuple[int, Optional[float]]]:
-            deployment = self.deploy(
-                AnycastConfig(site_order=(site_id,)), experiment_id=experiment_id
-            )
-            return [
-                (target.target_id, deployment.measure_rtt(target))
-                for target in self.targets
-            ]
+        def singleton_row(site_id: int, experiment_id: int):
+            try:
+                deployment = self.deploy(
+                    AnycastConfig(site_order=(site_id,)), experiment_id=experiment_id
+                )
+                return [
+                    (target.target_id, deployment.measure_rtt(target))
+                    for target in self.targets
+                ]
+            except MeasurementError as exc:
+                return FailedExperiment.from_error(
+                    "singleton", f"site {site_id}", (experiment_id,), exc
+                )
 
         ids = self.reserve_experiment_ids(len(site_ids))
         with self.metrics.phase("rtt-matrix"):
@@ -333,6 +456,9 @@ class Orchestrator:
             ])
         matrix = RttMatrix()
         for site_id, row in zip(site_ids, rows):
+            if isinstance(row, FailedExperiment):
+                self.record_failure(row)
+                row = [(target.target_id, None) for target in self.targets]
             for target_id, rtt in row:
                 matrix.set(site_id, target_id, rtt)
         return matrix

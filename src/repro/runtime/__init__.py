@@ -17,7 +17,13 @@ supplies the runtime machinery the drivers in :mod:`repro.core` and
   ``--stats`` flag, and ``repro.report.render_metrics``);
 - :mod:`repro.runtime.settings` — :class:`CampaignSettings`, the
   single home of every campaign knob, with deprecation shims for the
-  old per-knob constructor arguments.
+  old per-knob constructor arguments;
+- :mod:`repro.runtime.faults` — deterministic, seed-keyed fault
+  injection (announcement failures, convergence timeouts, probe
+  blackouts, session resets);
+- :mod:`repro.runtime.retry` — :class:`RetryPolicy` with virtual-time
+  exponential backoff, and the :class:`FailedExperiment` degradation
+  record.
 """
 
 from repro.runtime.cache import ConvergenceCache
@@ -27,19 +33,39 @@ from repro.runtime.executor import (
     SerialExecutor,
     make_executor,
 )
+from repro.runtime.faults import (
+    AnnouncementFailureError,
+    ConvergenceTimeoutError,
+    FaultInjector,
+    ProbeBlackoutError,
+    SessionResetError,
+)
 from repro.runtime.metrics import Counter, MetricsRegistry, PhaseRecord, Timer
+from repro.runtime.retry import (
+    FailedExperiment,
+    RetryPolicy,
+    run_with_retry,
+)
 from repro.runtime.settings import CampaignSettings, resolve_settings
 
 __all__ = [
+    "AnnouncementFailureError",
     "CampaignExecutor",
     "CampaignSettings",
     "ConvergenceCache",
+    "ConvergenceTimeoutError",
     "Counter",
+    "FailedExperiment",
+    "FaultInjector",
     "MetricsRegistry",
     "PhaseRecord",
     "PooledExecutor",
+    "ProbeBlackoutError",
+    "RetryPolicy",
     "SerialExecutor",
+    "SessionResetError",
     "Timer",
     "make_executor",
     "resolve_settings",
+    "run_with_retry",
 ]

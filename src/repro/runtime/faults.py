@@ -1,0 +1,113 @@
+"""Deterministic fault injection for measurement campaigns.
+
+The paper's campaigns run for days on the real Internet (S4.5: ~10
+days of singleton plus ~8 days of pairwise experiments at 2h spacing),
+where probes are lost, orchestrator sessions reset, and announcements
+fail.  This module injects those failure modes into the simulated
+campaign so the runtime can be exercised — and tested — against them:
+
+- *announcement failures*: the BGP injection never takes effect;
+- *convergence timeouts*: the control plane does not settle within the
+  per-experiment measurement window;
+- *probe blackouts*: the measurement session loses every probe of an
+  experiment;
+- *session resets*: the orchestrator's session to the testbed drops.
+
+Each fault is a probability knob on
+:class:`~repro.runtime.settings.CampaignSettings` and raises a typed
+:class:`~repro.util.errors.TransientError` subclass that
+:func:`repro.runtime.retry.run_with_retry` knows to retry.
+
+Determinism: every fault stream is keyed by ``(seed, fault,
+experiment_id, attempt)`` — never by wall-clock or completion order —
+so a pooled campaign injects bit-identical faults to a serial one, and
+a retry (next ``attempt`` nonce) re-derives fresh fault noise instead
+of deterministically re-failing.
+"""
+
+from typing import Optional
+
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.settings import CampaignSettings
+from repro.util.errors import TransientError
+from repro.util.rng import derive_rng
+
+
+class AnnouncementFailureError(TransientError):
+    """A BGP announcement was not accepted by the testbed."""
+
+
+class ConvergenceTimeoutError(TransientError):
+    """The control plane failed to converge within the experiment window."""
+
+
+class ProbeBlackoutError(TransientError):
+    """Every probe of a measurement session was lost."""
+
+
+class SessionResetError(TransientError):
+    """The orchestrator's session to the testbed dropped."""
+
+
+#: Fault kind -> (settings field, raised error class).
+FAULT_KINDS = {
+    "announcement": ("fault_announcement_prob", AnnouncementFailureError),
+    "convergence-timeout": ("fault_convergence_timeout_prob", ConvergenceTimeoutError),
+    "probe-blackout": ("fault_probe_blackout_prob", ProbeBlackoutError),
+    "session-reset": ("fault_session_reset_prob", SessionResetError),
+}
+
+#: Metrics counter incremented for every injected fault (plus a
+#: per-kind ``fault_<kind>`` counter).
+FAULTS_COUNTER = "faults_injected"
+
+
+class FaultInjector:
+    """Injects seeded transient faults into campaign operations.
+
+    With every fault probability at its 0.0 default the injector is
+    inert: :meth:`raise_if` returns immediately and no RNG stream is
+    consumed, so fault-free campaigns stay bit-identical to builds
+    that predate fault injection.
+    """
+
+    def __init__(
+        self,
+        seed,
+        settings: CampaignSettings,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.seed = seed
+        self.metrics = metrics
+        self._probs = {
+            kind: getattr(settings, field) for kind, (field, _) in FAULT_KINDS.items()
+        }
+
+    @property
+    def any_enabled(self) -> bool:
+        return any(p > 0.0 for p in self._probs.values())
+
+    def enabled(self, fault: str) -> bool:
+        return self._probs[fault] > 0.0
+
+    def raise_if(self, fault: str, experiment_id: int, attempt: int) -> None:
+        """Raise the fault's typed error iff its seeded stream fires.
+
+        ``attempt`` is the retry nonce: attempt 0 is the first try, and
+        each retry re-derives the stream so transient faults clear with
+        the probability the knob describes.
+        """
+        prob = self._probs[fault]
+        if prob <= 0.0:
+            return
+        rng = derive_rng(self.seed, "fault", fault, experiment_id, attempt)
+        if rng.random() >= prob:
+            return
+        if self.metrics is not None:
+            self.metrics.counter(FAULTS_COUNTER).increment()
+            self.metrics.counter(f"fault_{fault}").increment()
+        error_cls = FAULT_KINDS[fault][1]
+        raise error_cls(
+            f"injected {fault} fault (experiment {experiment_id}, "
+            f"attempt {attempt})"
+        )

@@ -1,0 +1,149 @@
+"""Retry with exponential backoff, and the typed failure record.
+
+Real campaign runners (Verfploeter/Tangled-style platforms) do not
+abort a multi-day campaign on one lost announcement: they retry the
+experiment a bounded number of times, backing off between attempts,
+and record what could not be completed.  This module supplies that
+policy for the simulated campaign:
+
+- :class:`RetryPolicy` — max attempts plus exponential backoff
+  computed in *virtual* time (the simulator never sleeps; backoff is
+  accounted into the ``retry_backoff_virtual_ms`` metrics counter);
+- :func:`run_with_retry` — runs an attempt function, retrying on
+  :class:`~repro.util.errors.TransientError` with a fresh attempt
+  nonce each time (so seeded fault/noise streams re-derive), and
+  raising :class:`~repro.util.errors.RetriesExhaustedError` when the
+  budget runs out;
+- :class:`FailedExperiment` — the typed record a campaign driver
+  stores when an experiment exhausts its retries, so the campaign can
+  complete with a degradation report instead of dying.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, TypeVar
+
+from repro.runtime.metrics import MetricsRegistry
+from repro.util.errors import RetriesExhaustedError, TransientError
+
+T = TypeVar("T")
+
+#: Metrics counter names used by the retry layer.
+RETRIES_COUNTER = "retries"
+BACKOFF_COUNTER = "retry_backoff_virtual_ms"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently transient failures are retried.
+
+    Attributes:
+        max_attempts: total tries per operation (1 disables retrying).
+        backoff_base_ms: virtual backoff before the first retry.
+        backoff_factor: multiplier applied per further retry.
+        backoff_max_ms: cap on a single backoff interval.
+    """
+
+    max_attempts: int = 3
+    backoff_base_ms: float = 1000.0
+    backoff_factor: float = 2.0
+    backoff_max_ms: float = 60_000.0
+
+    @classmethod
+    def from_settings(cls, settings) -> "RetryPolicy":
+        """The policy described by a
+        :class:`~repro.runtime.settings.CampaignSettings` value."""
+        return cls(
+            max_attempts=settings.retry_max_attempts,
+            backoff_base_ms=settings.retry_backoff_base_ms,
+            backoff_factor=settings.retry_backoff_factor,
+            backoff_max_ms=settings.retry_backoff_max_ms,
+        )
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Virtual backoff after the given 0-based failed attempt."""
+        return min(
+            self.backoff_base_ms * self.backoff_factor**attempt,
+            self.backoff_max_ms,
+        )
+
+
+def run_with_retry(
+    fn: Callable[[int], T],
+    policy: RetryPolicy,
+    metrics: Optional[MetricsRegistry] = None,
+    description: str = "operation",
+) -> T:
+    """Run ``fn(attempt)`` until it succeeds or the budget runs out.
+
+    ``fn`` receives the 0-based attempt nonce so callers can re-derive
+    per-attempt noise streams.  Only
+    :class:`~repro.util.errors.TransientError` triggers a retry; any
+    other exception propagates immediately.  Backoff elapses in
+    virtual time only (accounted into metrics, never slept).
+    """
+    last_error: Optional[TransientError] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn(attempt)
+        except TransientError as exc:
+            last_error = exc
+            if attempt + 1 >= policy.max_attempts:
+                break
+            if metrics is not None:
+                metrics.counter(RETRIES_COUNTER).increment()
+                metrics.counter(BACKOFF_COUNTER).increment(
+                    int(policy.backoff_ms(attempt))
+                )
+    raise RetriesExhaustedError(description, policy.max_attempts, last_error)
+
+
+@dataclass(frozen=True)
+class FailedExperiment:
+    """One experiment the campaign gave up on.
+
+    Attributes:
+        kind: driver vocabulary — ``"singleton"``, ``"pairwise"``,
+            ``"peer-probe"``, ``"deployment"``.
+        subject: human-readable subject (``"site 3"``, ``"pair (2, 5)"``).
+        experiment_ids: the reserved ids the experiment consumed.
+        error: the final error message.
+        attempts: how many attempts were made before giving up.
+    """
+
+    kind: str
+    subject: str
+    experiment_ids: Tuple[int, ...]
+    error: str
+    attempts: int
+
+    @classmethod
+    def from_error(
+        cls, kind: str, subject: str, experiment_ids, exc: Exception
+    ) -> "FailedExperiment":
+        """Build a record from the exception a driver caught."""
+        return cls(
+            kind=kind,
+            subject=subject,
+            experiment_ids=tuple(experiment_ids),
+            error=str(exc),
+            attempts=getattr(exc, "attempts", 1),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "subject": self.subject,
+            "experiment_ids": list(self.experiment_ids),
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FailedExperiment":
+        return cls(
+            kind=raw["kind"],
+            subject=raw["subject"],
+            experiment_ids=tuple(raw["experiment_ids"]),
+            error=raw["error"],
+            attempts=raw["attempts"],
+        )

@@ -43,6 +43,21 @@ class CampaignSettings:
         convergence_cache: reuse converged BGP state across identical
             deployments (bit-identical; see :mod:`repro.runtime.cache`).
         convergence_cache_size: LRU capacity of that cache.
+        fault_announcement_prob: per-attempt probability that a BGP
+            announcement transiently fails (see
+            :mod:`repro.runtime.faults`).
+        fault_convergence_timeout_prob: per-attempt probability that an
+            experiment's convergence window times out.
+        fault_probe_blackout_prob: per-attempt probability that an
+            experiment's measurement session loses every probe.
+        fault_session_reset_prob: per-attempt probability that the
+            orchestrator's testbed session resets mid-experiment.
+        retry_max_attempts: attempts per experiment operation before a
+            transient failure becomes a ``FailedExperiment`` (1
+            disables retrying).
+        retry_backoff_base_ms: virtual backoff before the first retry.
+        retry_backoff_factor: multiplier per further retry.
+        retry_backoff_max_ms: cap on a single virtual backoff interval.
     """
 
     session_churn_prob: float = 0.02
@@ -52,6 +67,14 @@ class CampaignSettings:
     parallelism: int = 1
     convergence_cache: bool = True
     convergence_cache_size: int = 256
+    fault_announcement_prob: float = 0.0
+    fault_convergence_timeout_prob: float = 0.0
+    fault_probe_blackout_prob: float = 0.0
+    fault_session_reset_prob: float = 0.0
+    retry_max_attempts: int = 3
+    retry_backoff_base_ms: float = 1000.0
+    retry_backoff_factor: float = 2.0
+    retry_backoff_max_ms: float = 60_000.0
 
     def __post_init__(self):
         if not 0.0 <= self.session_churn_prob <= 1.0:
@@ -64,6 +87,30 @@ class CampaignSettings:
             raise ConfigurationError("parallelism must be >= 1")
         if self.convergence_cache_size < 1:
             raise ConfigurationError("convergence_cache_size must be >= 1")
+        for knob in (
+            "fault_announcement_prob",
+            "fault_convergence_timeout_prob",
+            "fault_probe_blackout_prob",
+            "fault_session_reset_prob",
+        ):
+            if not 0.0 <= getattr(self, knob) <= 1.0:
+                raise ConfigurationError(f"{knob} must be in [0, 1]")
+        if self.retry_max_attempts < 1:
+            raise ConfigurationError("retry_max_attempts must be >= 1")
+        if self.retry_backoff_base_ms < 0 or self.retry_backoff_max_ms < 0:
+            raise ConfigurationError("retry backoff intervals must be non-negative")
+        if self.retry_backoff_factor < 1.0:
+            raise ConfigurationError("retry_backoff_factor must be >= 1")
+
+    @property
+    def faults_enabled(self) -> bool:
+        """True when any fault-injection knob is nonzero."""
+        return (
+            self.fault_announcement_prob > 0.0
+            or self.fault_convergence_timeout_prob > 0.0
+            or self.fault_probe_blackout_prob > 0.0
+            or self.fault_session_reset_prob > 0.0
+        )
 
     @classmethod
     def noiseless(cls, **overrides) -> "CampaignSettings":
@@ -89,6 +136,7 @@ class CampaignSettings:
 def resolve_settings(
     settings: Optional[CampaignSettings],
     caller: str,
+    stacklevel: int = 2,
     **legacy_kwargs,
 ) -> CampaignSettings:
     """Fold deprecated per-knob constructor kwargs into settings.
@@ -98,6 +146,12 @@ def resolve_settings(
     :class:`DeprecationWarning`; combining them with an explicit
     ``settings`` value is an error because the precedence would be
     ambiguous.
+
+    ``stacklevel`` positions the warning at the deprecated call site:
+    the default 2 blames this function's caller; shims that sit one
+    frame deeper (``AnyOpt.__init__`` / ``Orchestrator.__init__``)
+    pass 3 so the warning points at *their* caller, not inside
+    ``repro``.
     """
     supplied = {k: v for k, v in legacy_kwargs.items() if v is not None}
     if not supplied:
@@ -110,6 +164,6 @@ def resolve_settings(
         f"{caller}: the {sorted(supplied)} kwargs are deprecated; "
         "pass settings=CampaignSettings(...) instead",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=stacklevel,
     )
     return CampaignSettings(**supplied)

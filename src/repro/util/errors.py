@@ -35,3 +35,34 @@ class MeasurementError(ReproError):
     announcing, or when too few ICMP replies survive loss to produce a
     valid RTT sample.
     """
+
+
+class TransientError(MeasurementError):
+    """A retryable, transient campaign failure.
+
+    Raised by the fault-injection layer (:mod:`repro.runtime.faults`)
+    for the failure modes a days-long real-Internet campaign sees —
+    announcement failures, convergence timeouts, probe blackouts,
+    orchestrator-session resets.  :func:`repro.runtime.retry.run_with_retry`
+    retries these with exponential backoff (in virtual time); anything
+    else propagates immediately.
+    """
+
+
+class RetriesExhaustedError(MeasurementError):
+    """An operation kept failing transiently until its retry budget ran out.
+
+    Campaign drivers catch this (and any other
+    :class:`MeasurementError`) per experiment, record a typed
+    ``FailedExperiment``, and degrade gracefully instead of aborting
+    the whole campaign.
+    """
+
+    def __init__(self, description: str, attempts: int, last_error=None):
+        self.description = description
+        self.attempts = attempts
+        self.last_error = last_error
+        detail = f": {last_error}" if last_error is not None else ""
+        super().__init__(
+            f"{description} failed after {attempts} attempt(s){detail}"
+        )

@@ -156,6 +156,53 @@ class TestPlan:
         assert "2^500" in stdout
 
 
+class TestFaultFlags:
+    def test_discover_with_faults_and_checkpoint(self, artifacts, tmp_path, capsys):
+        testbed_path, _ = artifacts
+        out = tmp_path / "model.json"
+        ckpt = tmp_path / "campaign.ckpt"
+        argv = [
+            "discover", "--testbed", testbed_path, "--seed", "7",
+            "--fault-announcement", "0.3", "--max-attempts", "2",
+            "--checkpoint", str(ckpt), "--out", str(out), "--stats",
+        ]
+        code = main(argv)
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "degraded campaign" in stdout
+        assert "faults_injected" in stdout
+        assert ckpt.exists()
+        first = out.read_text()
+
+        # Second run resumes from the finished checkpoint: every phase
+        # replays from disk, and the model is byte-identical.
+        code = main(argv)
+        assert code == 0
+        assert "resuming from checkpoint" in capsys.readouterr().out
+        assert out.read_text() == first
+
+    def test_parallelism_validated(self):
+        with pytest.raises(SystemExit):
+            main([
+                "discover", "--testbed", "x", "--out", "y",
+                "--parallelism", "0",
+            ])
+
+    def test_fault_probability_validated(self):
+        with pytest.raises(SystemExit):
+            main([
+                "discover", "--testbed", "x", "--out", "y",
+                "--fault-announcement", "1.5",
+            ])
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(SystemExit):
+            main([
+                "discover", "--testbed", "x", "--out", "y",
+                "--max-attempts", "-1",
+            ])
+
+
 class TestErrors:
     def test_missing_file(self, capsys):
         code = main([

@@ -68,6 +68,16 @@ def test_settings_validation():
         CampaignSettings(parallelism=0)
     with pytest.raises(ConfigurationError):
         CampaignSettings(convergence_cache_size=0)
+    with pytest.raises(ConfigurationError):
+        CampaignSettings(fault_announcement_prob=1.5)
+    with pytest.raises(ConfigurationError):
+        CampaignSettings(fault_probe_blackout_prob=-0.1)
+    with pytest.raises(ConfigurationError):
+        CampaignSettings(retry_max_attempts=0)
+    with pytest.raises(ConfigurationError):
+        CampaignSettings(retry_backoff_factor=0.5)
+    assert not CampaignSettings().faults_enabled
+    assert CampaignSettings(fault_session_reset_prob=0.2).faults_enabled
 
 
 def test_noiseless_preset_and_replace():
@@ -84,17 +94,27 @@ def test_noiseless_preset_and_replace():
 
 
 def test_legacy_kwargs_warn_on_orchestrator(testbed, targets):
-    with pytest.warns(DeprecationWarning, match="session_churn_prob"):
+    with pytest.warns(DeprecationWarning, match="session_churn_prob") as record:
         orch = Orchestrator(testbed, targets, seed=SEED, session_churn_prob=0.0)
     assert orch.settings.session_churn_prob == 0.0
     # Unsupplied knobs keep their defaults.
     assert orch.settings.rtt_drift_sigma == CampaignSettings().rtt_drift_sigma
+    # The warning must blame the deprecated *call site*, not repro
+    # internals — a wrong stacklevel points users at the shim itself.
+    assert record[0].filename == __file__
 
 
 def test_legacy_kwargs_warn_on_anyopt(testbed, targets):
-    with pytest.warns(DeprecationWarning, match="AnyOpt"):
+    with pytest.warns(DeprecationWarning, match="AnyOpt") as record:
         anyopt = AnyOpt(testbed, targets=targets, seed=SEED, rtt_drift_sigma=0.0)
     assert anyopt.settings.rtt_drift_sigma == 0.0
+    assert record[0].filename == __file__
+
+
+def test_resolve_settings_warns_at_direct_caller():
+    with pytest.warns(DeprecationWarning, match="deprecated") as record:
+        resolve_settings(None, "Direct", session_churn_prob=0.1)
+    assert record[0].filename == __file__
 
 
 def test_settings_and_legacy_kwargs_conflict():

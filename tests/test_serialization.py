@@ -123,3 +123,27 @@ class TestModelRoundTrip:
     def test_wrong_format_rejected(self, testbed):
         with pytest.raises(ReproError):
             model_from_dict({"format": "anyopt-testbed", "version": 1}, testbed)
+
+    def test_undecided_cells_round_trip(self):
+        from repro.core.preferences import (
+            PairObservation,
+            PreferenceMatrix,
+            PreferenceOutcome,
+        )
+        from repro.io.serialization import matrix_from_list, matrix_to_list
+
+        matrix = PreferenceMatrix()
+        matrix.record(100, PairObservation(1, 2, 1, 1))
+        matrix.record(100, PairObservation.undecided_pair(1, 3))
+        clone = matrix_from_list(matrix_to_list(matrix))
+        assert clone == matrix
+        assert clone.observation(100, 1, 3).outcome() is PreferenceOutcome.UNDECIDED
+
+    def test_legacy_five_column_rows_accepted(self):
+        from repro.core.preferences import PreferenceOutcome
+        from repro.io.serialization import matrix_from_list
+
+        clone = matrix_from_list([[100, 1, 2, 1, 1]])
+        obs = clone.observation(100, 1, 2)
+        assert not obs.undecided
+        assert obs.outcome() is PreferenceOutcome.STRICT_A
