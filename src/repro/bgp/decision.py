@@ -43,6 +43,43 @@ def _full_key(route: Route, node: AS) -> Tuple:
     return _strict_key(route) + (arrival, route.learned_from)
 
 
+def evaluate(routes: Sequence[Route], node: AS) -> Tuple[Optional[Route], List[Route]]:
+    """One-pass decision: ``(best route, multipath set)``.
+
+    The best route always survives the deterministic comparison steps,
+    so it lies inside the strict-tied set; computing both together
+    costs one strict key per route instead of the three that separate
+    :func:`best_route` / :func:`multipath_set` calls pay.  This is the
+    speaker's per-message hot path.
+    """
+    best_key = None
+    tied: List[Route] = []
+    for r in routes:
+        # _strict_key, inlined and cached on the (frozen) route: the
+        # key is a pure function of the route, and ribs are rescanned
+        # on every delivery.
+        try:
+            k = r.strict_key
+        except AttributeError:
+            k = (-r.local_pref, len(r.as_path), r.origin_code, r.med, r.interior_cost)
+            object.__setattr__(r, "strict_key", k)
+        if best_key is None or k < best_key:
+            best_key = k
+            tied = [r]
+        elif k == best_key:
+            tied.append(r)
+    if not tied:
+        return None, []
+    if len(tied) == 1:
+        return tied[0], tied
+    if node.arrival_order_tiebreak:
+        best = min(tied, key=lambda r: (r.arrival_time, r.learned_from))
+    else:
+        best = min(tied, key=lambda r: r.learned_from)
+    tied.sort(key=lambda r: r.learned_from)
+    return best, tied
+
+
 def best_route(routes: Sequence[Route], node: AS) -> Optional[Route]:
     """The single best route for ``node``, or None if no routes.
 

@@ -7,10 +7,19 @@ control-plane propagation delay.  Because delays are seeded at topology
 build, the *arrival order* of competing advertisements at every AS is
 deterministic — which is exactly what the paper's S4.2 experiments
 manipulate by spacing announcements.
+
+Campaigns run the engine thousands of times over one topology, so the
+engine keeps a pool of speakers (and the graph's precomputed
+:class:`~repro.topology.precompute.TopologyTables`) alive across runs:
+a run only pays for the state it actually touched, not for rebuilding
+one speaker and one dict per AS.  ``reuse_state=False`` selects the
+original build-everything-per-run path, kept as the reference the fast
+path is benchmarked and bit-compared against.
 """
 
 import heapq
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -80,7 +89,13 @@ class SiteWithdrawal:
 
 @dataclass
 class ConvergedState:
-    """The outcome of running the engine to quiescence."""
+    """The outcome of running the engine to quiescence.
+
+    ``states`` covers every AS in the topology.  Treat the contained
+    :class:`RouterState` objects as immutable: states of ASes the run
+    never touched are shared between results (and with the convergence
+    cache), so mutating one would corrupt other results.
+    """
 
     prefix: str
     origin_asn: int
@@ -106,6 +121,15 @@ class BGPEngine:
     propagation entirely and is bit-identical to re-running.
     ``metrics`` (a :class:`repro.runtime.metrics.MetricsRegistry`)
     receives the convergence work counters.
+
+    ``reuse_state=True`` (the default) enables the pooled fast path:
+    speaker sets are checked out of a pool per run and returned after
+    their touched state has been detached into the result, so repeated
+    runs allocate O(state actually carried) instead of O(|ASes|)
+    speakers and dicts.  Concurrent runs each check out their own
+    speaker set, so one engine remains safe to share across executor
+    threads.  ``reuse_state=False`` rebuilds everything per run (the
+    pre-pool behavior); both paths produce identical results.
     """
 
     def __init__(
@@ -115,12 +139,76 @@ class BGPEngine:
         prefix: str = DEFAULT_ANYCAST_PREFIX,
         cache=None,
         metrics=None,
+        reuse_state: bool = True,
     ):
         self.internet = internet
         self.origin_asn = origin_asn
         self.prefix = prefix
         self.cache = cache
         self.metrics = metrics
+        self.reuse_state = reuse_state
+        self._pool_lock = threading.Lock()
+        self._pool: List[Dict[int, BGPSpeaker]] = []
+        self._pool_tables = None
+        # Pristine states handed out for ASes a run never gave a route
+        # to; shared across results, never given to a speaker.
+        self._pristine: Dict[int, RouterState] = {}
+
+    # -- speaker pool ---------------------------------------------------
+
+    def _checkout_speakers(self, tables, igp_overlay):
+        """Borrow a speaker set for one run (build one on pool miss)."""
+        graph = self.internet.graph
+        with self._pool_lock:
+            if self._pool_tables is not tables:
+                # First run, or the topology mutated: pooled speakers
+                # hold stale derived data, so start the pool over.
+                self._pool = []
+                self._pool_tables = tables
+                self._pristine = {asn: RouterState(asn) for asn in graph.asns()}
+            speakers = self._pool.pop() if self._pool else None
+        if speakers is None:
+            speakers = {
+                asn: BGPSpeaker(
+                    graph, graph.as_of(asn), self.prefix, igp_overlay, tables=tables
+                )
+                for asn in graph.asns()
+            }
+        else:
+            overlay = igp_overlay or {}
+            for sp in speakers.values():
+                sp.igp_overlay = overlay
+        return speakers
+
+    def _release_speakers(self, speakers, tables):
+        """Return a speaker set whose state has been detached.
+
+        Only called after a successful run; a run that raised leaves
+        its speakers to the garbage collector rather than risk
+        returning half-mutated state to the pool.
+        """
+        with self._pool_lock:
+            if self._pool_tables is tables:
+                self._pool.append(speakers)
+
+    def _detach_states(self, speakers) -> Dict[int, RouterState]:
+        """Move each touched speaker's state into a result dict.
+
+        Speakers that ended the run with an empty state (never reached,
+        or withdrawn back to empty) keep their state object and the
+        result gets the shared pristine state instead — those are the
+        ASes whose allocations the pool saves.
+        """
+        states: Dict[int, RouterState] = {}
+        pristine = self._pristine
+        for asn, sp in speakers.items():
+            st = sp.state
+            if st.adj_rib_in or st.advertised_to or st.best is not None or st.multipath:
+                states[asn] = st
+                sp.state = RouterState(asn)
+            else:
+                states[asn] = pristine[asn]
+        return states
 
     def run(
         self,
@@ -165,10 +253,17 @@ class BGPEngine:
             if cached is not None:
                 return cached
 
-        speakers = {
-            asn: BGPSpeaker(graph, graph.as_of(asn), self.prefix, igp_overlay)
-            for asn in graph.asns()
-        }
+        if self.reuse_state:
+            tables = graph.tables()
+            speakers = self._checkout_speakers(tables, igp_overlay)
+            prop_delay = tables.prop_delay
+        else:
+            tables = None
+            speakers = {
+                asn: BGPSpeaker(graph, graph.as_of(asn), self.prefix, igp_overlay)
+                for asn in graph.asns()
+            }
+            prop_delay = None
 
         jitter: Dict[Tuple[int, int], float] = {}
         if delay_jitter_ms > 0.0:
@@ -194,16 +289,28 @@ class BGPEngine:
         messages = 0
         last_time = 0.0
         events = 0
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        next_seq = counter.__next__
+        jitter_get = jitter.get
         while heap:
-            time_ms, _, kind, receiver, sender, as_path, med = heapq.heappop(heap)
+            time_ms, _, kind, receiver, sender, as_path, med = heappop(heap)
             events += 1
             if events > _MAX_EVENTS:
                 raise ReproError(
                     "BGP event budget exhausted; the configuration did not converge"
                 )
-            last_time = max(last_time, time_ms)
+            # The heap pops in nondecreasing time order, so the last
+            # event's timestamp is the convergence time.
+            last_time = time_ms
             speaker = speakers[receiver]
-            if kind == "inject":
+            if kind == "announce":
+                messages += 1
+                out = speaker.receive_announcement(sender, as_path, med, time_ms)
+            elif kind == "withdraw":
+                messages += 1
+                out = speaker.receive_withdrawal(sender)
+            elif kind == "inject":
                 inj = inj_by_key[(receiver, sender)]
                 out = speaker.inject(
                     self.origin_asn,
@@ -215,35 +322,46 @@ class BGPEngine:
                 )
             elif kind == "uninject":
                 out = speaker.withdraw_injection(self.origin_asn, sender)
-            elif kind == "announce":
-                messages += 1
-                out = speaker.receive_announcement(sender, as_path, med, time_ms)
-            elif kind == "withdraw":
-                messages += 1
-                out = speaker.receive_withdrawal(sender)
             else:  # pragma: no cover - defensive
                 raise ReproError(f"unknown event kind {kind!r}")
 
-            for update in out:
-                link = graph.link(receiver, update.neighbor)
-                arrive = time_ms + link.prop_delay_ms + jitter.get(
-                    (receiver, update.neighbor), 0.0
-                )
-                if update.as_path is None:
-                    schedule(arrive, "withdraw", update.neighbor, receiver, None)
-                else:
-                    schedule(arrive, "announce", update.neighbor, receiver, update.as_path, update.med)
+            if prop_delay is not None:
+                for update in out:
+                    neighbor = update.neighbor
+                    pair = (receiver, neighbor)
+                    arrive = time_ms + prop_delay[pair] + jitter_get(pair, 0.0)
+                    path = update.as_path
+                    if path is None:
+                        heappush(heap, (arrive, next_seq(), "withdraw", neighbor, receiver, None, 0))
+                    else:
+                        heappush(heap, (arrive, next_seq(), "announce", neighbor, receiver, path, update.med))
+            else:
+                for update in out:
+                    link = graph.link(receiver, update.neighbor)
+                    arrive = time_ms + link.prop_delay_ms + jitter.get(
+                        (receiver, update.neighbor), 0.0
+                    )
+                    if update.as_path is None:
+                        schedule(arrive, "withdraw", update.neighbor, receiver, None)
+                    else:
+                        schedule(arrive, "announce", update.neighbor, receiver, update.as_path, update.med)
 
         if self.metrics is not None:
             self.metrics.counter("convergence_runs").increment()
             self.metrics.counter("convergence_messages").increment(messages)
             self.metrics.counter("convergence_events").increment(events)
 
+        if self.reuse_state:
+            states = self._detach_states(speakers)
+            self._release_speakers(speakers, tables)
+        else:
+            states = {asn: sp.state for asn, sp in speakers.items()}
+
         withdrawn = {(wd.host_asn, wd.site_id) for wd in withdrawals}
         state = ConvergedState(
             prefix=self.prefix,
             origin_asn=self.origin_asn,
-            states={asn: sp.state for asn, sp in speakers.items()},
+            states=states,
             injections=tuple(injections),
             convergence_time_ms=last_time,
             message_count=messages,

@@ -86,3 +86,40 @@ class Route:
             and self.med == other.med
             and self.origin_code == other.origin_code
         )
+
+
+def make_route(
+    prefix: str,
+    as_path: Tuple[int, ...],
+    learned_from: int,
+    local_pref: int,
+    learned_rel: Relationship = Relationship.PROVIDER,
+    med: int = 0,
+    interior_cost: int = 0,
+    arrival_time: float = 0.0,
+) -> Route:
+    """Hot-path :class:`Route` constructor.
+
+    Value-identical to calling ``Route(...)`` (same validation, equal
+    and equally hashable results) but bypasses the frozen-dataclass
+    ``__init__``/``object.__setattr__`` machinery, which costs ~4x as
+    much; speakers create one route per delivered announcement, making
+    this one of the largest fixed costs in the convergence loop.
+    ``origin_code`` and ``site_pops`` keep their defaults: propagated
+    routes never carry site attachments.
+    """
+    if not as_path:
+        raise ReproError("Route.as_path must not be empty")
+    route = Route.__new__(Route)
+    d = route.__dict__
+    d["prefix"] = prefix
+    d["as_path"] = as_path
+    d["learned_from"] = learned_from
+    d["local_pref"] = local_pref
+    d["learned_rel"] = learned_rel
+    d["med"] = med
+    d["origin_code"] = 0
+    d["interior_cost"] = interior_cost
+    d["arrival_time"] = arrival_time
+    d["site_pops"] = ()
+    return route

@@ -6,13 +6,21 @@ returns the outgoing updates its export policy requires.  Timing is the
 engine's concern; the speaker only records the arrival timestamps it is
 given (they feed the arrival-order tie-break of
 :mod:`repro.bgp.decision`).
+
+Speakers run in one of two modes.  With ``tables`` (a
+:class:`~repro.topology.precompute.TopologyTables`) they read import
+preferences, interior costs, and presorted export sets from the shared
+per-topology tables — the fast path the engine uses for repeated runs.
+Without tables they derive everything through per-call graph lookups,
+which is the reference path the fast path is tested against.  Both
+produce identical updates in identical order.
 """
 
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.bgp.decision import best_route, multipath_set
-from repro.bgp.messages import Route, SitePop
+from repro.bgp.messages import Route, SitePop, make_route
 from repro.bgp.policy import export_targets, local_pref_for
 from repro.bgp.rib import RouterState
 from repro.topology.astopo import AS, ASGraph, Relationship
@@ -37,15 +45,19 @@ class BGPSpeaker:
 
     ``igp_overlay`` maps ``(asn, neighbor)`` to a session interior
     cost overriding the topology's static one — the engine uses it to
-    model interior-routing churn between experiments.
+    model interior-routing churn between experiments.  The engine's
+    speaker pool reassigns it between runs.
     """
 
-    def __init__(self, graph: ASGraph, node: AS, prefix: str, igp_overlay=None):
+    __slots__ = ("graph", "node", "prefix", "igp_overlay", "state", "_tables")
+
+    def __init__(self, graph: ASGraph, node: AS, prefix: str, igp_overlay=None, tables=None):
         self.graph = graph
         self.node = node
         self.prefix = prefix
         self.igp_overlay = igp_overlay or {}
         self.state = RouterState(node.asn)
+        self._tables = tables
 
     # -- inputs ----------------------------------------------------------
 
@@ -128,10 +140,12 @@ class BGPSpeaker:
         now: float,
     ) -> List[OutgoingUpdate]:
         """Process an announcement from ``neighbor``; returns exports."""
-        if self.node.asn in as_path:
+        asn = self.node.asn
+        if asn in as_path:
             # Loop prevention: a path containing our own ASN is dropped.
             return []
-        existing = self.state.adj_rib_in.get(neighbor)
+        adj_rib_in = self.state.adj_rib_in
+        existing = adj_rib_in.get(neighbor)
         if (
             existing is not None
             and existing.as_path == as_path
@@ -139,22 +153,33 @@ class BGPSpeaker:
         ):
             # Duplicate refresh: route age is preserved, nothing changes.
             return []
-        rel = self.graph.rel(self.node.asn, neighbor)
-        link = self.graph.link(self.node.asn, neighbor)
-        interior = self.igp_overlay.get((self.node.asn, neighbor))
-        if interior is None:
-            interior = link.igp_cost.get(self.node.asn, 0)
-        route = Route(
-            prefix=self.prefix,
-            as_path=as_path,
-            learned_from=neighbor,
-            local_pref=local_pref_for(self.node, neighbor, rel),
-            learned_rel=rel,
-            med=med,
-            interior_cost=interior,
-            arrival_time=now,
-        )
-        self.state.adj_rib_in[neighbor] = route
+        tables = self._tables
+        if tables is not None:
+            session = (asn, neighbor)
+            local_pref, interior, rel = tables.session_import[session]
+            overlay = self.igp_overlay.get(session)
+            if overlay is not None:
+                interior = overlay
+            adj_rib_in[neighbor] = make_route(
+                self.prefix, as_path, neighbor, local_pref, rel, med, interior, now
+            )
+        else:
+            rel = self.graph.rel(asn, neighbor)
+            local_pref = local_pref_for(self.node, neighbor, rel)
+            interior = self.igp_overlay.get((asn, neighbor))
+            if interior is None:
+                link = self.graph.link(asn, neighbor)
+                interior = link.igp_cost.get(asn, 0)
+            adj_rib_in[neighbor] = Route(
+                prefix=self.prefix,
+                as_path=as_path,
+                learned_from=neighbor,
+                local_pref=local_pref,
+                learned_rel=rel,
+                med=med,
+                interior_cost=interior,
+                arrival_time=now,
+            )
         return self._reevaluate()
 
     def receive_withdrawal(self, neighbor: int) -> List[OutgoingUpdate]:
@@ -190,11 +215,52 @@ class BGPSpeaker:
     def _reevaluate(self) -> List[OutgoingUpdate]:
         state = self.state
         old_best = state.best
-        new_best = best_route(state.routes(), self.node)
+        tables = self._tables
+        node = self.node
+        if tables is not None:
+            # Inlined copy of decision.evaluate(): this runs once per
+            # delivered message and the call overhead is measurable.
+            # Keep in lockstep with decision.evaluate.
+            best_key = None
+            tied: List[Route] = []
+            for r in state.adj_rib_in.values():
+                # The strict key is a pure function of the (frozen)
+                # route, so it is computed once and cached on the
+                # instance; ribs are rescanned on every delivery.
+                try:
+                    k = r.strict_key
+                except AttributeError:
+                    k = (-r.local_pref, len(r.as_path), r.origin_code, r.med, r.interior_cost)
+                    object.__setattr__(r, "strict_key", k)
+                if best_key is None or k < best_key:
+                    best_key = k
+                    tied = [r]
+                elif k == best_key:
+                    tied.append(r)
+            if not tied:
+                new_best = None
+                multipath: List[Route] = []
+            elif len(tied) == 1:
+                new_best = tied[0]
+                multipath = tied
+            else:
+                if node.arrival_order_tiebreak:
+                    new_best = min(tied, key=lambda r: (r.arrival_time, r.learned_from))
+                else:
+                    new_best = min(tied, key=lambda r: r.learned_from)
+                tied.sort(key=lambda r: r.learned_from)
+                multipath = tied
+        else:
+            # Reference path: the original two-pass decision.
+            routes = state.routes()
+            new_best = best_route(routes, node)
+            multipath = multipath_set(routes, node)
         state.best = new_best
-        state.multipath = multipath_set(state.routes(), self.node)
+        state.multipath = multipath
 
         if new_best is None:
+            if not state.advertised_to:
+                return []
             out = [
                 OutgoingUpdate(neighbor=n, as_path=None)
                 for n in sorted(state.advertised_to)
@@ -202,32 +268,58 @@ class BGPSpeaker:
             state.advertised_to.clear()
             return out
 
-        if new_best.materially_equal(old_best):
+        if (
+            old_best is not None
+            and new_best.as_path == old_best.as_path
+            and new_best.learned_from == old_best.learned_from
+            and new_best.med == old_best.med
+            and new_best.origin_code == old_best.origin_code
+        ):
+            # materially_equal(old_best), inlined.
             return []
 
-        export_path = (self.node.asn,) + new_best.as_path
-        targets = [
-            n
-            for n in export_targets(
-                self.graph, self.node.asn, new_best.learned_rel, new_best.learned_from
-            )
-            if n not in new_best.as_path
-        ]
+        asn = node.asn
+        learned_from = new_best.learned_from
+        as_path = new_best.as_path
+        export_path = (asn,) + as_path
+        # The export base is presorted (hoisted into the topology
+        # tables), so only the usually-empty stale set needs a sort
+        # here — the old path re-sorted both sets per reevaluation.
+        if tables is not None:
+            base = tables.export_targets(asn, new_best.learned_rel)
+        else:
+            base = tuple(sorted(
+                export_targets(self.graph, asn, new_best.learned_rel, learned_from)
+            ))
+        advertised = state.advertised_to
         out: List[OutgoingUpdate] = []
-        target_set = set(targets)
-        for stale in sorted(set(state.advertised_to) - target_set):
-            out.append(OutgoingUpdate(neighbor=stale, as_path=None))
-            del state.advertised_to[stale]
-        for n in sorted(target_set):
-            previously = state.advertised_to.get(n)
+        if advertised:
+            target_set = {
+                n for n in base if n != learned_from and n not in as_path
+            }
+            for stale in sorted(set(advertised) - target_set):
+                out.append(OutgoingUpdate(neighbor=stale, as_path=None))
+                del advertised[stale]
+        # One frozen Route is shared across all targets (identical
+        # value per target; the per-target copies the old path built
+        # were pure allocation overhead).
+        exported: Optional[Route] = None
+        for n in base:
+            if n == learned_from or n in as_path:
+                continue
+            previously = advertised.get(n)
             if previously is not None and previously.as_path == export_path:
                 continue
-            advertised = Route(
-                prefix=self.prefix,
-                as_path=export_path,
-                learned_from=self.node.asn,
-                local_pref=0,
-            )
-            state.advertised_to[n] = advertised
+            if exported is None:
+                if tables is not None:
+                    exported = make_route(self.prefix, export_path, asn, 0)
+                else:
+                    exported = Route(
+                        prefix=self.prefix,
+                        as_path=export_path,
+                        learned_from=asn,
+                        local_pref=0,
+                    )
+            advertised[n] = exported
             out.append(OutgoingUpdate(neighbor=n, as_path=export_path))
         return out

@@ -70,6 +70,8 @@ def _settings_from_args(args) -> Optional[CampaignSettings]:
         ("fault_probe_blackout", "fault_probe_blackout_prob"),
         ("fault_session_reset", "fault_session_reset_prob"),
         ("max_attempts", "retry_max_attempts"),
+        ("executor", "executor"),
+        ("cache_dir", "convergence_cache_path"),
     ):
         value = getattr(args, flag, None)
         if value is not None:
@@ -359,6 +361,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print campaign metrics (experiments, timers, cache hits) at the end",
     )
+    stats.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="profile the command with cProfile, write pstats data to PATH, "
+        "and print the top functions by cumulative time",
+    )
+    stats.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist converged BGP states under DIR so repeated invocations "
+        "(and process-pool workers) reuse each other's convergence work",
+    )
 
     # Fault-injection and retry knobs, shared by campaign subcommands.
     faults = argparse.ArgumentParser(add_help=False)
@@ -414,7 +430,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallelism",
         type=_positive_int,
         default=None,
-        help="worker threads for the campaign (results are identical to serial)",
+        help="campaign workers (results are identical to serial)",
+    )
+    p.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default=None,
+        help="worker pool kind for --parallelism > 1: shared-memory threads "
+        "(default) or forked processes (results are identical either way)",
     )
     p.add_argument(
         "--checkpoint",
@@ -505,7 +528,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        code = args.func(args)
+        if getattr(args, "profile", None):
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            code = profiler.runcall(args.func, args)
+            profiler.dump_stats(args.profile)
+            print(f"\nprofile written to {args.profile}; top functions:")
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(10)
+        else:
+            code = args.func(args)
         anyopt = getattr(args, "_anyopt", None)
         if getattr(args, "stats", False) and anyopt is not None:
             print("\ncampaign stats:")

@@ -126,7 +126,8 @@ class AnyOpt:
         from repro.io import checkpoint as checkpoint_io
 
         executor = make_executor(
-            self.settings.parallelism if parallelism is None else parallelism
+            self.settings.parallelism if parallelism is None else parallelism,
+            kind=self.settings.executor,
         )
         before = self.orchestrator.experiment_count
         failures_before = len(self.orchestrator.failures)
@@ -154,21 +155,24 @@ class AnyOpt:
             if checkpoint_path is not None:
                 checkpoint_io.save_checkpoint(progress, checkpoint_path)
 
-        with self.metrics.phase("discover"):
-            if progress.rtt_matrix is not None:
-                rtt_matrix = progress.rtt_matrix
-            else:
-                rtt_matrix = self.orchestrator.measure_rtt_matrix(executor=executor)
-                progress.rtt_matrix = rtt_matrix
-                save()
-            twolevel = discover_two_level(
-                self.runner,
-                rtt_matrix=rtt_matrix,
-                site_level_mode=self.site_level_mode,
-                executor=executor,
-                progress=progress,
-                checkpoint=save,
-            )
+        try:
+            with self.metrics.phase("discover"):
+                if progress.rtt_matrix is not None:
+                    rtt_matrix = progress.rtt_matrix
+                else:
+                    rtt_matrix = self.orchestrator.measure_rtt_matrix(executor=executor)
+                    progress.rtt_matrix = rtt_matrix
+                    save()
+                twolevel = discover_two_level(
+                    self.runner,
+                    rtt_matrix=rtt_matrix,
+                    site_level_mode=self.site_level_mode,
+                    executor=executor,
+                    progress=progress,
+                    checkpoint=save,
+                )
+        finally:
+            executor.close()
         return AnyOptModel(
             testbed=self.testbed,
             rtt_matrix=rtt_matrix,
@@ -224,8 +228,12 @@ class AnyOpt:
         them like :meth:`discover` does for pairwise experiments.
         """
         executor = make_executor(
-            self.settings.parallelism if parallelism is None else parallelism
+            self.settings.parallelism if parallelism is None else parallelism,
+            kind=self.settings.executor,
         )
-        return one_pass_peer_selection(
-            self.orchestrator, config, peer_ids=peer_ids, executor=executor
-        )
+        try:
+            return one_pass_peer_selection(
+                self.orchestrator, config, peer_ids=peer_ids, executor=executor
+            )
+        finally:
+            executor.close()

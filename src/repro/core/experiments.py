@@ -6,11 +6,18 @@ measurement), *ordered pairwise* experiments (two sites announce,
 spaced; run twice with the order reversed — S4.2), and *simultaneous
 pairwise* experiments (the naive baseline that ignores announcement
 order — S5.1).
+
+Campaign drivers describe their experiments as
+:class:`ExperimentTask` values — small picklable descriptors whose
+experiment ids were reserved up front — and hand the list to a
+:class:`~repro.runtime.executor.CampaignExecutor`.  The descriptor
+form is what lets the process-pool executor ship work to forked
+workers; the serial and thread executors execute the same descriptors
+in-process through :func:`execute_experiment_task`.
 """
 
 from dataclasses import dataclass
-from functools import partial
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import AnycastConfig
 from repro.core.preferences import PairObservation, PreferenceMatrix
@@ -142,38 +149,28 @@ class ExperimentRunner:
 
     # -- sweeps ---------------------------------------------------------------
 
-    def _degradable(self, task, kind: str, subject: str, experiment_ids):
-        """Wrap an experiment thunk so retries-exhausted failures come
-        back as :class:`FailedExperiment` values instead of exceptions.
-
-        Workers only *return* the record; the main-thread collection
-        loop records it, so the failure log order is the task order
-        regardless of executor."""
-
-        def run():
-            try:
-                return task()
-            except MeasurementError as exc:
-                return FailedExperiment.from_error(kind, subject, experiment_ids, exc)
-
-        return run
-
     def pairwise_tasks(
         self, sites: Sequence[Tuple[int, int]], ordered: bool = True
-    ):
+    ) -> List["ExperimentTask"]:
         """Reserve experiment ids for the given site pairs — in pair
         order, matching what a serial sweep would consume — and return
-        the ready-to-dispatch experiment thunks."""
+        the ready-to-dispatch experiment descriptors."""
         tasks = []
         for a, b in sites:
             if ordered:
                 ids = tuple(self.orchestrator.reserve_experiment_ids(2))
-                task = partial(self.run_pairwise, a, b, ids)
+                kind = "pairwise"
             else:
                 ids = tuple(self.orchestrator.reserve_experiment_ids(1))
-                task = partial(self.run_pairwise_simultaneous, a, b, ids[0])
+                kind = "pairwise-simultaneous"
             tasks.append(
-                self._degradable(task, "pairwise", f"pair ({a}, {b})", ids)
+                ExperimentTask(
+                    kind=kind,
+                    experiment_ids=ids,
+                    subject=f"pair ({a}, {b})",
+                    site_a=a,
+                    site_b=b,
+                )
             )
         return tasks
 
@@ -200,7 +197,9 @@ class ExperimentRunner:
         sites = sorted(set(site_ids))
         pairs = [(a, b) for i, a in enumerate(sites) for b in sites[i + 1:]]
         executor = executor if executor is not None else SerialExecutor()
-        results = executor.run(self.pairwise_tasks(pairs, ordered=ordered), progress=progress)
+        results = executor.run_experiments(
+            self.orchestrator, self.pairwise_tasks(pairs, ordered=ordered), progress=progress
+        )
         matrix = PreferenceMatrix()
         undecided = self.orchestrator.metrics.counter("undecided_cells")
         for (a, b), result in zip(pairs, results):
@@ -215,3 +214,87 @@ class ExperimentRunner:
             for target in self.orchestrator.targets:
                 matrix.record(target.target_id, result.observation(target.target_id))
         return matrix
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """A picklable description of one independent campaign experiment.
+
+    Descriptors carry everything a worker needs to run the experiment
+    against *any* orchestrator built from the same campaign spec
+    (testbed, targets, seed, settings): the experiment kind, the
+    pre-reserved experiment ids, and the kind-specific arguments.
+    That is the process-pool contract — a forked worker rebuilds its
+    own orchestrator and executes the descriptor bit-identically to
+    the serial path, because every noise stream is keyed by the
+    experiment ids reserved here, not by which worker runs it.
+
+    ``subject`` is the human-readable label used when the experiment
+    degrades into a :class:`~repro.runtime.retry.FailedExperiment`.
+    """
+
+    kind: str
+    experiment_ids: Tuple[int, ...]
+    subject: str
+    site_a: Optional[int] = None
+    site_b: Optional[int] = None
+    site_id: Optional[int] = None
+    peer_id: Optional[int] = None
+    base_config: Optional[AnycastConfig] = None
+    base_mean_rtt_ms: Optional[float] = None
+
+
+#: How each task kind is reported when it fails (the vocabulary of
+#: :class:`~repro.runtime.retry.FailedExperiment.kind` predates tasks).
+_FAILURE_KIND = {
+    "pairwise": "pairwise",
+    "pairwise-simultaneous": "pairwise",
+    "rtt-row": "singleton",
+    "peer-probe": "peer-probe",
+}
+
+
+def execute_experiment_task(orchestrator: Orchestrator, task: ExperimentTask):
+    """Run one :class:`ExperimentTask` against ``orchestrator``.
+
+    Retries-exhausted failures come back as
+    :class:`~repro.runtime.retry.FailedExperiment` *values*, not
+    exceptions: executors only return records, and the main-process
+    collection loop records them, so the failure log order is the task
+    order regardless of executor (or process boundary).
+    """
+    try:
+        if task.kind == "pairwise":
+            runner = ExperimentRunner(orchestrator)
+            return runner.run_pairwise(task.site_a, task.site_b, task.experiment_ids)
+        if task.kind == "pairwise-simultaneous":
+            runner = ExperimentRunner(orchestrator)
+            return runner.run_pairwise_simultaneous(
+                task.site_a, task.site_b, task.experiment_ids[0]
+            )
+        if task.kind == "rtt-row":
+            deployment = orchestrator.deploy(
+                AnycastConfig(site_order=(task.site_id,)),
+                experiment_id=task.experiment_ids[0],
+            )
+            return [
+                (target.target_id, deployment.measure_rtt(target))
+                for target in orchestrator.targets
+            ]
+        if task.kind == "peer-probe":
+            # Imported here: repro.core.peers imports this module's
+            # ExperimentTask, so a module-level import would be a cycle.
+            from repro.core.peers import probe_peer
+
+            return probe_peer(
+                orchestrator,
+                task.base_config,
+                task.peer_id,
+                task.base_mean_rtt_ms,
+                task.experiment_ids[0],
+            )
+        raise ConfigurationError(f"unknown experiment task kind {task.kind!r}")
+    except MeasurementError as exc:
+        return FailedExperiment.from_error(
+            _FAILURE_KIND[task.kind], task.subject, task.experiment_ids, exc
+        )

@@ -9,10 +9,10 @@ peer is kept only if the estimate still improves.
 """
 
 from dataclasses import dataclass, field
-from functools import partial
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.config import AnycastConfig
+from repro.core.experiments import ExperimentTask
 from repro.measurement.orchestrator import Orchestrator
 from repro.runtime.executor import CampaignExecutor, SerialExecutor
 from repro.runtime.retry import FailedExperiment
@@ -144,23 +144,20 @@ def one_pass_peer_selection(
         )
     base_mean = mean(base_rtts.values())
 
-    def degradable_probe(peer_id: int, exp_id: int):
-        def run():
-            try:
-                return probe_peer(orchestrator, base_config, peer_id, base_mean, exp_id)
-            except MeasurementError as exc:
-                return FailedExperiment.from_error(
-                    "peer-probe", f"peer {peer_id}", (exp_id,), exc
-                )
-
-        return run
-
     probe_ids = orchestrator.reserve_experiment_ids(len(peer_ids))
+    tasks = [
+        ExperimentTask(
+            kind="peer-probe",
+            experiment_ids=(exp_id,),
+            subject=f"peer {peer_id}",
+            peer_id=peer_id,
+            base_config=base_config,
+            base_mean_rtt_ms=base_mean,
+        )
+        for peer_id, exp_id in zip(peer_ids, probe_ids)
+    ]
     with orchestrator.metrics.phase("one-pass-peers"):
-        outcomes = executor.run([
-            degradable_probe(peer_id, exp_id)
-            for peer_id, exp_id in zip(peer_ids, probe_ids)
-        ])
+        outcomes = executor.run_experiments(orchestrator, tasks)
     probes: List[PeerProbeResult] = []
     for outcome in outcomes:
         if isinstance(outcome, FailedExperiment):

@@ -191,7 +191,7 @@ def discover_two_level(
             tasks = runner.pairwise_tasks(
                 [(reps[pa], reps[pb]) for pa, pb in provider_pairs], ordered=ordered
             )
-            results = executor.run(tasks)
+            results = executor.run_experiments(runner.orchestrator, tasks)
         for (pa, pb), result in zip(provider_pairs, results):
             if isinstance(result, FailedExperiment):
                 runner.orchestrator.record_failure(result)

@@ -11,9 +11,13 @@ campaign can be split across processes (and so the CLI can chain
   matrices);
 - :func:`save_checkpoint` / :func:`load_checkpoint` — partial
   discovery state (:class:`~repro.io.checkpoint.DiscoveryProgress`)
-  for resuming an interrupted campaign.
+  for resuming an interrupted campaign;
+- :class:`~repro.io.cachestore.ConvergenceStore` — the persistent
+  on-disk spill of the convergence cache, shared by processes and
+  repeated CLI invocations.
 """
 
+from repro.io.cachestore import ConvergenceStore, topology_fingerprint
 from repro.io.checkpoint import (
     DiscoveryProgress,
     load_checkpoint,
@@ -33,6 +37,7 @@ from repro.io.serialization import (
 )
 
 __all__ = [
+    "ConvergenceStore",
     "DiscoveryProgress",
     "load_checkpoint",
     "load_model",
@@ -46,4 +51,5 @@ __all__ = [
     "save_testbed",
     "testbed_from_dict",
     "testbed_to_dict",
+    "topology_fingerprint",
 ]

@@ -9,7 +9,6 @@ and the orchestrator keeps a running tally.
 """
 
 import threading
-from functools import partial
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.util.rng import derive_rng, stable_hash
@@ -198,8 +197,24 @@ class Orchestrator:
         self.rtt_bias_sigma = self.settings.rtt_bias_sigma
         self.bgp_delay_jitter_ms = self.settings.bgp_delay_jitter_ms
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        store = None
+        if self.settings.convergence_cache and self.settings.convergence_cache_path:
+            # Imported here: repro.io imports repro.core, which imports
+            # this module, so a module-level import would be a cycle.
+            from repro.bgp.engine import DEFAULT_ANYCAST_PREFIX
+            from repro.io.cachestore import ConvergenceStore
+
+            store = ConvergenceStore.for_topology(
+                self.settings.convergence_cache_path,
+                testbed.internet.graph,
+                DEFAULT_ANYCAST_PREFIX,
+            )
         self.convergence_cache = (
-            ConvergenceCache(self.settings.convergence_cache_size, metrics=self.metrics)
+            ConvergenceCache(
+                self.settings.convergence_cache_size,
+                metrics=self.metrics,
+                store=store,
+            )
             if self.settings.convergence_cache
             else None
         )
@@ -267,6 +282,21 @@ class Orchestrator:
                 )
             self._used_ids.add(experiment_id)
         return experiment_id
+
+    def adopt_reserved_ids(self, experiment_ids: Iterable[int]) -> None:
+        """Recognise ids reserved by a *coordinating* orchestrator.
+
+        A process-pool worker's orchestrator never reserves ids itself
+        — the main-process orchestrator reserved them serially before
+        dispatch — so the worker extends its id space to cover the
+        incoming task's ids before deploying them.  Each task runs on
+        exactly one worker, so the per-worker used-id set still catches
+        local reuse.
+        """
+        top = max(experiment_ids, default=0)
+        with self._id_lock:
+            if top > self._experiment_count:
+                self._experiment_count = top
 
     def restore_experiment_state(self, experiment_count: int) -> None:
         """Fast-forward the id space past a checkpoint's experiments.
@@ -431,29 +461,24 @@ class Orchestrator:
         gracefully: that site's row is recorded as all-None (no usable
         RTT samples) and the failure lands in :attr:`failures`.
         """
+        # Imported here: repro.core.experiments imports this module, so
+        # a module-level import would be a cycle.
+        from repro.core.experiments import ExperimentTask
+
         site_ids = self.testbed.site_ids() if site_ids is None else list(site_ids)
         executor = executor if executor is not None else SerialExecutor()
-
-        def singleton_row(site_id: int, experiment_id: int):
-            try:
-                deployment = self.deploy(
-                    AnycastConfig(site_order=(site_id,)), experiment_id=experiment_id
-                )
-                return [
-                    (target.target_id, deployment.measure_rtt(target))
-                    for target in self.targets
-                ]
-            except MeasurementError as exc:
-                return FailedExperiment.from_error(
-                    "singleton", f"site {site_id}", (experiment_id,), exc
-                )
-
         ids = self.reserve_experiment_ids(len(site_ids))
+        tasks = [
+            ExperimentTask(
+                kind="rtt-row",
+                experiment_ids=(experiment_id,),
+                subject=f"site {site_id}",
+                site_id=site_id,
+            )
+            for site_id, experiment_id in zip(site_ids, ids)
+        ]
         with self.metrics.phase("rtt-matrix"):
-            rows = executor.run([
-                partial(singleton_row, site_id, experiment_id)
-                for site_id, experiment_id in zip(site_ids, ids)
-            ])
+            rows = executor.run_experiments(self, tasks)
         matrix = RttMatrix()
         for site_id, row in zip(site_ids, rows):
             if isinstance(row, FailedExperiment):

@@ -124,6 +124,12 @@ def render_metrics(snapshot: Dict) -> str:
     timers = snapshot.get("timers", {})
     phases = snapshot.get("phases", [])
     rows = [[name, str(counters[name])] for name in sorted(counters)]
+    lookups = counters.get("convergence_cache_hits", 0) + counters.get(
+        "convergence_cache_misses", 0
+    )
+    if lookups:
+        hit_rate = counters.get("convergence_cache_hits", 0) / lookups
+        rows.append(["convergence_cache_hit_rate", f"{hit_rate:.1%}"])
     rows.extend(
         [
             name,

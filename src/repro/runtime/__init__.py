@@ -6,9 +6,9 @@ serial loop turns into the campaign's wall-clock floor.  This package
 supplies the runtime machinery the drivers in :mod:`repro.core` and
 :mod:`repro.measurement` thread through their call chains:
 
-- :mod:`repro.runtime.executor` — serial and pooled campaign
-  executors; experiment ids are reserved up front so pooled runs are
-  bit-identical to serial ones;
+- :mod:`repro.runtime.executor` — serial, thread-pooled, and
+  process-pooled campaign executors; experiment ids are reserved up
+  front so pooled runs are bit-identical to serial ones;
 - :mod:`repro.runtime.cache` — an exact-input LRU cache of converged
   BGP states, so redeployments of the same configuration skip
   re-propagation;
@@ -30,6 +30,7 @@ from repro.runtime.cache import ConvergenceCache
 from repro.runtime.executor import (
     CampaignExecutor,
     PooledExecutor,
+    ProcessExecutor,
     SerialExecutor,
     make_executor,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "PhaseRecord",
     "PooledExecutor",
     "ProbeBlackoutError",
+    "ProcessExecutor",
     "RetryPolicy",
     "SerialExecutor",
     "SessionResetError",

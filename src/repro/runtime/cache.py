@@ -27,6 +27,7 @@ from repro.util.errors import ConfigurationError
 #: Metrics counter names used by the cache.
 HITS_COUNTER = "convergence_cache_hits"
 MISSES_COUNTER = "convergence_cache_misses"
+DISK_HITS_COUNTER = "convergence_cache_disk_hits"
 
 
 class ConvergenceCache:
@@ -36,13 +37,27 @@ class ConvergenceCache:
     from worker threads.  Two threads racing on the same key may both
     miss and both converge — the results are identical by construction,
     so the duplicate store is harmless.
+
+    ``store`` optionally spills entries to a persistent
+    :class:`~repro.io.cachestore.ConvergenceStore`: every stored state
+    is also written to disk, and a memory miss consults the disk
+    before reporting a miss.  Disk hits count as hits (plus their own
+    counter) because the engine run they replace is skipped all the
+    same — that is how repeated CLI invocations and process-pool
+    workers reuse each other's convergence work.
     """
 
-    def __init__(self, max_entries: int = 256, metrics: Optional[MetricsRegistry] = None):
+    def __init__(
+        self,
+        max_entries: int = 256,
+        metrics: Optional[MetricsRegistry] = None,
+        store=None,
+    ):
         if max_entries < 1:
             raise ConfigurationError("convergence cache needs at least one entry")
         self.max_entries = max_entries
         self.metrics = metrics
+        self.disk_store = store
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -91,21 +106,37 @@ class ConvergenceCache:
             state = self._entries.get(key)
             if state is not None:
                 self._entries.move_to_end(key)
+        from_disk = False
+        if state is None and self.disk_store is not None:
+            state = self.disk_store.load(key)
+            if state is not None:
+                from_disk = True
+                self._insert(key, state)
+        with self._lock:
+            if state is not None:
                 self._hits += 1
             else:
                 self._misses += 1
         if self.metrics is not None:
             counter = HITS_COUNTER if state is not None else MISSES_COUNTER
             self.metrics.counter(counter).increment()
+            if from_disk:
+                self.metrics.counter(DISK_HITS_COUNTER).increment()
         return state
 
-    def store(self, key: Tuple, state) -> None:
-        """Insert ``state``, evicting the least recently used entry."""
+    def _insert(self, key: Tuple, state) -> None:
         with self._lock:
             self._entries[key] = state
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+
+    def store(self, key: Tuple, state) -> None:
+        """Insert ``state``, evicting the least recently used entry;
+        also spilled to the persistent store when one is attached."""
+        self._insert(key, state)
+        if self.disk_store is not None:
+            self.disk_store.save(key, state)
 
     def clear(self) -> None:
         with self._lock:

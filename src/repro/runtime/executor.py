@@ -1,22 +1,38 @@
 """Campaign executors: run independent BGP experiments concurrently.
 
 The experiment drivers express a campaign as an ordered list of
-zero-argument tasks whose experiment ids were *reserved up front* in
-serial order (see
+:class:`~repro.core.experiments.ExperimentTask` descriptors whose
+experiment ids were *reserved up front* in serial order (see
 :meth:`~repro.measurement.orchestrator.Orchestrator.reserve_experiment_ids`).
 Because every seeded noise stream is keyed by experiment id — not by
-wall-clock order — the pooled executor produces bit-identical results
-to the serial path: only the wall-clock interleaving changes.
+wall-clock order or by worker identity — every executor produces
+bit-identical results to the serial path: only the wall-clock
+interleaving changes.
 
-Real measurement campaigns are dominated by waiting (BGP convergence
-holds, probe round trips), which is why platforms like Tangled batch
-and parallelize independent probes; the thread pool mirrors that
-structure and keeps every task picklable-free and in-process.
+Three executors implement that contract:
+
+- :class:`SerialExecutor` — the reference path, one experiment at a
+  time in the calling thread.
+- :class:`PooledExecutor` — a thread pool sharing the campaign's
+  orchestrator; the default for ``parallelism > 1``.  Real measurement
+  campaigns are dominated by waiting (BGP convergence holds, probe
+  round trips), which threads overlap well.
+- :class:`ProcessExecutor` — a pool of forked worker processes, each
+  owning an orchestrator rebuilt from the campaign's picklable spec
+  (testbed, targets, seed, settings).  This sidesteps the GIL for
+  CPU-bound convergence work; each worker's counter and timer movement
+  is shipped back per task and merged into the main registry, so
+  ``--stats`` reads the same either way.  Worker-local convergence
+  caches warm independently (share them across processes with
+  ``convergence_cache_path``).
 """
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from multiprocessing import get_context
 from threading import Lock
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.util.errors import ConfigurationError
 
@@ -45,6 +61,34 @@ class CampaignExecutor:
             if progress is not None:
                 progress(done, total)
         return results
+
+    def run_experiments(
+        self,
+        orchestrator,
+        tasks: Sequence,
+        progress: Optional[ProgressFn] = None,
+    ) -> List:
+        """Execute :class:`~repro.core.experiments.ExperimentTask`
+        descriptors against ``orchestrator``; results keep task order.
+
+        The in-process executors bind each descriptor to the campaign's
+        own orchestrator; :class:`ProcessExecutor` overrides this to
+        ship the descriptors to its workers instead.
+        """
+        # Imported lazily: repro.core imports this module, so a
+        # module-level import would be a cycle.
+        from repro.core.experiments import execute_experiment_task
+
+        return self.run(
+            [partial(execute_experiment_task, orchestrator, task) for task in tasks],
+            progress=progress,
+        )
+
+    def close(self) -> None:
+        """Release pooled resources (a no-op for in-process executors).
+
+        Safe to call repeatedly; campaign drivers call it when the
+        campaign ends."""
 
 
 class SerialExecutor(CampaignExecutor):
@@ -89,11 +133,165 @@ class PooledExecutor(CampaignExecutor):
             return [f.result() for f in futures]
 
 
-def make_executor(parallelism: Optional[int]) -> CampaignExecutor:
+# -- process pool -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _WorkerSpec:
+    """Everything a forked worker needs to rebuild the campaign's
+    orchestrator.  All fields must be picklable (the AS graph drops
+    its derived topology tables on pickling and workers rebuild them
+    on first use)."""
+
+    testbed: Any
+    targets: Any
+    seed: Any
+    settings: Any
+
+
+#: The per-worker-process orchestrator, built once by the pool
+#: initializer and reused for every task the worker executes.
+_WORKER_ORCHESTRATOR = None
+
+
+def _init_worker(spec: _WorkerSpec) -> None:
+    global _WORKER_ORCHESTRATOR
+    from repro.measurement.orchestrator import Orchestrator
+
+    _WORKER_ORCHESTRATOR = Orchestrator(
+        spec.testbed, spec.targets, seed=spec.seed, settings=spec.settings
+    )
+
+
+def _snapshot_deltas(before: Dict, after: Dict) -> Tuple[Dict, Dict]:
+    """Counter/timer movement between two metrics snapshots."""
+    counters = {
+        name: after["counters"][name] - before["counters"].get(name, 0)
+        for name in after["counters"]
+    }
+    timers = {
+        name: {
+            "total_seconds": t["total_seconds"]
+            - before["timers"].get(name, {}).get("total_seconds", 0.0),
+            "count": t["count"] - before["timers"].get(name, {}).get("count", 0),
+        }
+        for name, t in after["timers"].items()
+    }
+    return counters, timers
+
+
+def _run_worker_task(task):
+    """Execute one descriptor in a worker process.
+
+    Returns ``(result, counter_deltas, timer_deltas)``; the main
+    process merges the deltas so campaign metrics are complete even
+    though each worker records into its own registry.
+    """
+    from repro.core.experiments import execute_experiment_task
+
+    orchestrator = _WORKER_ORCHESTRATOR
+    orchestrator.adopt_reserved_ids(task.experiment_ids)
+    before = orchestrator.metrics.snapshot()
+    result = execute_experiment_task(orchestrator, task)
+    counters, timers = _snapshot_deltas(before, orchestrator.metrics.snapshot())
+    return result, counters, timers
+
+
+class ProcessExecutor(CampaignExecutor):
+    """Runs experiment descriptors on a pool of forked processes.
+
+    The pool is created lazily on the first :meth:`run_experiments`
+    call (that is when the campaign spec is known) and persists across
+    campaign phases; call :meth:`close` — campaign drivers do — to
+    shut the workers down.
+
+    Uses the ``fork`` start method where available so workers inherit
+    the parent's imports cheaply; platforms without ``fork`` fall back
+    to the default start method.
+    """
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise ConfigurationError("executor needs at least one worker")
+        self.max_workers = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_owner = None
+
+    def run(
+        self,
+        tasks: Sequence[Callable[[], T]],
+        progress: Optional[ProgressFn] = None,
+    ) -> List[T]:
+        raise ConfigurationError(
+            "the process executor runs ExperimentTask descriptors via "
+            "run_experiments(); in-process callables cannot cross the "
+            "process boundary"
+        )
+
+    def _pool_for(self, orchestrator) -> ProcessPoolExecutor:
+        if self._pool is not None and self._pool_owner is orchestrator:
+            return self._pool
+        self.close()
+        spec = _WorkerSpec(
+            testbed=orchestrator.testbed,
+            targets=orchestrator.targets,
+            seed=orchestrator.seed,
+            settings=orchestrator.settings,
+        )
+        try:
+            mp_context = get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            mp_context = get_context()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=(spec,),
+        )
+        self._pool_owner = orchestrator
+        return self._pool
+
+    def run_experiments(
+        self,
+        orchestrator,
+        tasks: Sequence,
+        progress: Optional[ProgressFn] = None,
+    ) -> List:
+        if not tasks:
+            return []
+        pool = self._pool_for(orchestrator)
+        futures = [pool.submit(_run_worker_task, task) for task in tasks]
+        results: List = []
+        total = len(tasks)
+        for done, future in enumerate(futures, start=1):
+            result, counters, timers = future.result()
+            orchestrator.metrics.merge_deltas(counters, timers)
+            results.append(result)
+            if progress is not None:
+                progress(done, total)
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_owner = None
+
+
+def make_executor(
+    parallelism: Optional[int], kind: str = "thread"
+) -> CampaignExecutor:
     """The entry-point policy: ``None`` or ``1`` selects the serial
-    path, anything larger a thread pool of that width."""
+    path; anything larger a pool of that width — threads by default,
+    forked processes for ``kind="process"``."""
+    if kind not in ("thread", "process"):
+        raise ConfigurationError(
+            f"executor kind must be 'thread' or 'process', got {kind!r}"
+        )
+    if parallelism is not None and parallelism < 1:
+        raise ConfigurationError("parallelism must be >= 1")
     if parallelism is None or parallelism == 1:
         return SerialExecutor()
-    if parallelism < 1:
-        raise ConfigurationError("parallelism must be >= 1")
+    if kind == "process":
+        return ProcessExecutor(parallelism)
     return PooledExecutor(parallelism)

@@ -69,6 +69,13 @@ class Timer:
                 self._total_s += elapsed
                 self._count += 1
 
+    def add(self, seconds: float, count: int = 1) -> None:
+        """Fold externally timed sections (e.g. sections a worker
+        process measured in its own registry) into this timer."""
+        with self._lock:
+            self._total_s += seconds
+            self._count += count
+
 
 @dataclass
 class PhaseRecord:
@@ -127,6 +134,23 @@ class MetricsRegistry:
             }
             with self._lock:
                 self._phases.append(PhaseRecord(name, wall, deltas))
+
+    def merge_deltas(self, counters: Dict[str, int], timers: Dict[str, Dict]) -> None:
+        """Fold another registry's movement into this one.
+
+        Process-pool campaign workers record into their own registry;
+        the executor ships each task's counter and timer deltas back
+        and merges them here, so ``--stats`` reads the same regardless
+        of which pool (or none) ran the campaign.  Merging happens
+        inside the surrounding :meth:`phase`, so phase counter deltas
+        include worker activity too.
+        """
+        for name, delta in counters.items():
+            if delta:
+                self.counter(name).increment(delta)
+        for name, t in timers.items():
+            if t.get("count"):
+                self.timer(name).add(t.get("total_seconds", 0.0), t["count"])
 
     # -- reporting ----------------------------------------------------------
 

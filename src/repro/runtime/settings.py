@@ -40,9 +40,20 @@ class CampaignSettings:
             every link's control-plane delay.
         parallelism: default worker count for campaign execution; 1
             runs experiments serially.
+        executor: which worker pool ``parallelism > 1`` selects:
+            ``"thread"`` (the default; workers share the orchestrator)
+            or ``"process"`` (workers are forked processes, each with
+            its own orchestrator rebuilt from the campaign spec).
+            Results are bit-identical either way — experiment ids, not
+            workers, key every noise stream.
         convergence_cache: reuse converged BGP state across identical
             deployments (bit-identical; see :mod:`repro.runtime.cache`).
         convergence_cache_size: LRU capacity of that cache.
+        convergence_cache_path: directory for the persistent on-disk
+            convergence store (see :mod:`repro.io.cachestore`); None
+            keeps the cache purely in memory.  A shared directory is
+            what lets process workers and repeated CLI invocations hit
+            each other's converged states.
         fault_announcement_prob: per-attempt probability that a BGP
             announcement transiently fails (see
             :mod:`repro.runtime.faults`).
@@ -65,8 +76,10 @@ class CampaignSettings:
     rtt_bias_sigma: float = 0.03
     bgp_delay_jitter_ms: float = 20.0
     parallelism: int = 1
+    executor: str = "thread"
     convergence_cache: bool = True
     convergence_cache_size: int = 256
+    convergence_cache_path: Optional[str] = None
     fault_announcement_prob: float = 0.0
     fault_convergence_timeout_prob: float = 0.0
     fault_probe_blackout_prob: float = 0.0
@@ -85,6 +98,10 @@ class CampaignSettings:
             raise ConfigurationError("bgp_delay_jitter_ms must be non-negative")
         if self.parallelism < 1:
             raise ConfigurationError("parallelism must be >= 1")
+        if self.executor not in ("thread", "process"):
+            raise ConfigurationError(
+                f"executor must be 'thread' or 'process', got {self.executor!r}"
+            )
         if self.convergence_cache_size < 1:
             raise ConfigurationError("convergence_cache_size must be >= 1")
         for knob in (

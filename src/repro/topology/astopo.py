@@ -143,6 +143,17 @@ class ASGraph:
         self._links: Dict[FrozenSet[int], Link] = {}
         self._rels: Dict[Tuple[int, int], Relationship] = {}
         self._adj: Dict[int, List[int]] = {}
+        #: Bumped on every structural mutation; versions the derived tables.
+        self._revision = 0
+        self._tables = None
+
+    def __getstate__(self):
+        # The derived tables are a cache: cheap to rebuild, heavy to
+        # ship.  Dropping them keeps pickled graphs (process-pool
+        # campaign specs, saved testbeds) lean.
+        state = self.__dict__.copy()
+        state["_tables"] = None
+        return state
 
     # -- construction --------------------------------------------------
 
@@ -152,6 +163,7 @@ class ASGraph:
             raise TopologyError(f"duplicate ASN {node.asn}")
         self._ases[node.asn] = node
         self._adj[node.asn] = []
+        self.invalidate_tables()
         return node
 
     def add_link(
@@ -184,6 +196,7 @@ class ASGraph:
         self._rels[(b, a)] = rel_of_b_from_a.inverse()
         self._adj[a].append(b)
         self._adj[b].append(a)
+        self.invalidate_tables()
         return link
 
     def add_provider(self, customer: int, provider: int, **kwargs) -> Link:
@@ -193,6 +206,34 @@ class ASGraph:
     def add_peering(self, a: int, b: int, **kwargs) -> Link:
         """Convenience: settlement-free peering between ``a`` and ``b``."""
         return self.add_link(a, b, Relationship.PEER, **kwargs)
+
+    # -- derived tables -------------------------------------------------
+
+    def invalidate_tables(self) -> None:
+        """Drop the cached derived tables (see :meth:`tables`).
+
+        Structural mutation calls this automatically; call it yourself
+        after mutating AS or link attributes in place (``igp_cost``,
+        ``deviant_prefs``, ...) once a table may already exist.
+        """
+        self._revision += 1
+        self._tables = None
+
+    def tables(self):
+        """The graph's :class:`~repro.topology.precompute.TopologyTables`,
+        built on first use and cached until the graph mutates.
+
+        The BGP engine's fast path reads export sets, import
+        preferences, interior costs, and propagation delays from here
+        instead of re-deriving them per speaker per run.
+        """
+        tables = self._tables
+        if tables is None or tables.revision != self._revision:
+            from repro.topology.precompute import build_tables
+
+            tables = build_tables(self, revision=self._revision)
+            self._tables = tables
+        return tables
 
     # -- queries --------------------------------------------------------
 

@@ -80,6 +80,51 @@ class TestDiscoverOptimizeEvaluate:
         assert "catchment accuracy" in stdout
         assert "measured mean RTT" in stdout
 
+    def test_discover_process_executor_matches_thread(self, artifacts, tmp_path,
+                                                      capsys):
+        testbed_path, _ = artifacts
+        thread_out = tmp_path / "thread.json"
+        process_out = tmp_path / "process.json"
+        base = ["discover", "--testbed", testbed_path, "--seed", "7",
+                "--parallelism", "2"]
+        assert main(base + ["--out", str(thread_out)]) == 0
+        assert main(base + ["--executor", "process",
+                            "--out", str(process_out)]) == 0
+        assert json.loads(thread_out.read_text()) == json.loads(
+            process_out.read_text()
+        )
+
+    def test_profile_flag_writes_pstats(self, artifacts, tmp_path, capsys):
+        testbed_path, model_path = artifacts
+        prof = tmp_path / "evaluate.prof"
+        code = main([
+            "evaluate", "--testbed", testbed_path, "--model", model_path,
+            "--seed", "7", "--sites", "1,4,6", "--profile", str(prof),
+        ])
+        assert code == 0
+        assert prof.exists()
+        stdout = capsys.readouterr().out
+        assert f"profile written to {prof}" in stdout
+        assert "cumulative" in stdout  # the pstats top-functions table
+
+    def test_cache_dir_reused_across_invocations(self, artifacts, tmp_path,
+                                                 capsys):
+        testbed_path, model_path = artifacts
+        cache_dir = tmp_path / "convergence"
+        argv = [
+            "evaluate", "--testbed", testbed_path, "--model", model_path,
+            "--seed", "7", "--sites", "1,4,6", "--stats",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "convergence_cache_disk_hits" not in first
+        # Same seed, same inputs: the second CLI invocation re-derives
+        # the same cache key and reuses the spilled converged state.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "convergence_cache_disk_hits" in second
+
 
 class TestCatchmentAndPeers:
     def test_catchment_bars(self, artifacts, capsys):

@@ -20,7 +20,7 @@ from repro.core.preferences import PairObservation, PreferenceOutcome
 from repro.io import checkpoint as checkpoint_io
 from repro.io import load_checkpoint, model_to_dict, save_checkpoint
 from repro.measurement.orchestrator import Orchestrator
-from repro.runtime import CampaignSettings, PooledExecutor
+from repro.runtime import CampaignSettings, PooledExecutor, ProcessExecutor
 from repro.runtime.faults import FaultInjector
 from repro.runtime.retry import FailedExperiment, RetryPolicy, run_with_retry
 from repro.util.errors import (
@@ -169,6 +169,29 @@ class TestDegradation:
         assert serial == pooled
         assert serial_orch.experiment_count == pooled_orch.experiment_count
         assert serial_orch.failures == pooled_orch.failures
+
+    def test_process_sweep_matches_serial_under_faults(self, testbed, targets):
+        # The strongest determinism claim: fault streams are keyed by
+        # (seed, fault, experiment_id, attempt), so even campaigns run
+        # in forked worker *processes* degrade bit-identically —
+        # including which experiments failed and every merged counter.
+        sites = testbed.site_ids()[:4]
+        serial_orch = Orchestrator(testbed, targets, seed=SEED, settings=FAULTY)
+        process_orch = Orchestrator(testbed, targets, seed=SEED, settings=FAULTY)
+        serial = ExperimentRunner(serial_orch).pairwise_sweep(sites)
+        executor = ProcessExecutor(2)
+        try:
+            process = ExperimentRunner(process_orch).pairwise_sweep(
+                sites, executor=executor
+            )
+        finally:
+            executor.close()
+        assert serial == process
+        assert serial_orch.experiment_count == process_orch.experiment_count
+        assert serial_orch.failures == process_orch.failures
+        serial_counters = serial_orch.metrics.snapshot()["counters"]
+        process_counters = process_orch.metrics.snapshot()["counters"]
+        assert serial_counters == process_counters
 
     def test_exhausted_retries_become_undecided_cells(self, testbed, targets):
         orch = Orchestrator(testbed, targets, seed=SEED, settings=ALWAYS_FAILING)

@@ -5,16 +5,20 @@ bit-identical to the serial reference path for the same seed, because
 experiment ids — not completion times — key every noise stream.
 """
 
+import threading
+
 import pytest
 
 from repro import AnyOpt, CampaignSettings
 from repro.core import ExperimentRunner
 from repro.core.config import AnycastConfig
+from repro.io import ConvergenceStore, topology_fingerprint
 from repro.measurement import Orchestrator
 from repro.runtime import (
     ConvergenceCache,
     MetricsRegistry,
     PooledExecutor,
+    ProcessExecutor,
     SerialExecutor,
     make_executor,
     resolve_settings,
@@ -37,6 +41,26 @@ def test_make_executor_policy():
     assert pooled.max_workers == 4
     with pytest.raises(ConfigurationError):
         make_executor(0)
+
+
+def test_make_executor_kind_policy():
+    # parallelism 1 is serial regardless of the requested kind.
+    assert isinstance(make_executor(1, kind="process"), SerialExecutor)
+    process = make_executor(4, kind="process")
+    assert isinstance(process, ProcessExecutor)
+    assert process.max_workers == 4
+    process.close()
+    with pytest.raises(ConfigurationError):
+        make_executor(4, kind="fibers")
+
+
+def test_process_executor_rejects_inprocess_callables():
+    executor = ProcessExecutor(2)
+    try:
+        with pytest.raises(ConfigurationError, match="process boundary"):
+            executor.run([lambda: 1])
+    finally:
+        executor.close()
 
 
 def test_pooled_executor_preserves_task_order():
@@ -76,6 +100,8 @@ def test_settings_validation():
         CampaignSettings(retry_max_attempts=0)
     with pytest.raises(ConfigurationError):
         CampaignSettings(retry_backoff_factor=0.5)
+    with pytest.raises(ConfigurationError):
+        CampaignSettings(executor="fibers")
     assert not CampaignSettings().faults_enabled
     assert CampaignSettings(fault_session_reset_prob=0.2).faults_enabled
 
@@ -233,6 +259,33 @@ def test_cache_lru_eviction():
     assert cache.lookup(("c",)) == "C"
 
 
+def test_cache_concurrent_eviction_stays_consistent():
+    # Pooled workers hammer a deliberately tiny cache: interleaved
+    # lookups and evicting stores must never corrupt the LRU order,
+    # lose the size bound, or drop a hit/miss count.
+    cache = ConvergenceCache(max_entries=2)
+    errors = []
+    per_thread = 300
+
+    def hammer(worker):
+        try:
+            for i in range(per_thread):
+                key = ("shared", (worker + i) % 5)
+                if cache.lookup(key) is None:
+                    cache.store(key, f"state-{worker}-{i}")
+        except Exception as exc:  # pragma: no cover - the assertion payload
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(w,)) for w in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    assert len(cache) <= 2
+    assert cache.hits + cache.misses == 4 * per_thread
+
+
 def test_cache_key_ignores_nonce_without_jitter():
     key_a = ConvergenceCache.key_for((1, 2), {}, 0.0, 17)
     key_b = ConvergenceCache.key_for((1, 2), None, 0.0, 99)
@@ -240,6 +293,73 @@ def test_cache_key_ignores_nonce_without_jitter():
     with_jitter_a = ConvergenceCache.key_for((1, 2), {}, 5.0, 17)
     with_jitter_b = ConvergenceCache.key_for((1, 2), {}, 5.0, 99)
     assert with_jitter_a != with_jitter_b
+
+
+# --- persistent convergence store -------------------------------------------
+
+
+def test_store_round_trip(tmp_path):
+    store = ConvergenceStore(str(tmp_path), "ns")
+    key = (("inj", 1), (), (0.0, 0), ())
+    assert store.load(key) is None
+    store.save(key, {"routes": [1, 2, 3]})
+    assert store.load(key) == {"routes": [1, 2, 3]}
+    assert len(store) == 1
+    store.clear()
+    assert store.load(key) is None
+
+
+def test_store_corruption_degrades_to_miss(tmp_path):
+    store = ConvergenceStore(str(tmp_path), "ns")
+    store.save(("k",), "state")
+    (entry,) = (tmp_path / "ns").glob("*.pkl")
+    entry.write_bytes(b"not a pickle")
+    assert store.load(("k",)) is None
+
+
+def test_cache_spills_to_store_and_fresh_cache_reloads(tmp_path):
+    store = ConvergenceStore(str(tmp_path), "ns")
+    metrics = MetricsRegistry()
+    first = ConvergenceCache(max_entries=4, store=store)
+    first.store(("k",), "state")
+    # A different cache instance (new process, next CLI run) hits the
+    # spilled entry; the disk hit has its own counter.
+    fresh = ConvergenceCache(max_entries=4, metrics=metrics, store=store)
+    assert fresh.lookup(("k",)) == "state"
+    assert fresh.hits == 1
+    counters = metrics.snapshot()["counters"]
+    assert counters["convergence_cache_hits"] == 1
+    assert counters["convergence_cache_disk_hits"] == 1
+    # Now cached in memory: the second lookup is a plain hit.
+    assert fresh.lookup(("k",)) == "state"
+    assert metrics.snapshot()["counters"]["convergence_cache_disk_hits"] == 1
+
+
+def test_topology_fingerprint_is_stable_and_discriminating(testbed):
+    graph = testbed.internet.graph
+    same = topology_fingerprint(graph, "192.0.2.0/24")
+    assert same == topology_fingerprint(graph, "192.0.2.0/24")
+    assert same != topology_fingerprint(graph, "198.51.100.0/24")
+
+
+def test_persistent_cache_hits_across_orchestrators(testbed, targets, tmp_path):
+    settings = CampaignSettings.noiseless(convergence_cache_path=str(tmp_path))
+    config = AnycastConfig(site_order=tuple(testbed.site_ids()[:2]))
+    first = Orchestrator(testbed, targets, seed=SEED, settings=settings)
+    first_deploy = first.deploy(config)
+    # A brand-new orchestrator (fresh in-memory cache) reuses the
+    # spilled state without a single engine run.
+    second = Orchestrator(testbed, targets, seed=SEED, settings=settings)
+    second_deploy = second.deploy(config)
+    assert second.convergence_cache.hits == 1
+    assert second.convergence_cache.misses == 0
+    counters = second.metrics.snapshot()["counters"]
+    assert counters["convergence_cache_disk_hits"] == 1
+    assert counters.get("convergence_runs", 0) == 0
+    # The reloaded state produces the same measurements bit-for-bit.
+    assert [second_deploy.measure_rtt(t) for t in targets] == [
+        first_deploy.measure_rtt(t) for t in targets
+    ]
 
 
 # --- metrics ----------------------------------------------------------------
@@ -266,6 +386,35 @@ def test_metrics_phase_records_counter_deltas():
     assert [p["name"] for p in phases] == ["sweep"]
     assert phases[0]["counter_deltas"] == {"experiments": 3}
     assert phases[0]["wall_seconds"] >= 0.0
+
+
+def test_metrics_merge_deltas():
+    # How process-pool workers report: snapshot deltas shipped back and
+    # merged into the main-process registry.
+    metrics = MetricsRegistry()
+    metrics.counter("experiments").increment(2)
+    metrics.merge_deltas(
+        {"experiments": 3, "noop": 0},
+        {"convergence": {"total_seconds": 1.5, "count": 2}, "idle": {"count": 0}},
+    )
+    snap = metrics.snapshot()
+    assert snap["counters"]["experiments"] == 5
+    assert "noop" not in snap["counters"]
+    assert snap["timers"]["convergence"] == {"total_seconds": 1.5, "count": 2}
+    assert "idle" not in snap["timers"]
+
+
+def test_stats_rendering_includes_cache_hit_rate(clean_orchestrator):
+    from repro.report import render_metrics
+
+    config = AnycastConfig(
+        site_order=tuple(clean_orchestrator.testbed.site_ids()[:2])
+    )
+    clean_orchestrator.deploy(config)
+    clean_orchestrator.deploy(config)  # noiseless redeploy: one hit
+    out = render_metrics(clean_orchestrator.metrics.snapshot())
+    assert "convergence_cache_hit_rate" in out
+    assert "50.0%" in out
 
 
 def test_campaign_records_metrics(clean_orchestrator):
