@@ -17,6 +17,9 @@ root, so regressions show up in review diffs):
   the honest wall-clock ratio.  On a single-CPU host the ratio is
   expected to be ~1x or below (fork + pickling overhead with no cores
   to win back); the number is recorded as measured, never massaged.
+- **obs**: the same convergence workload with tracing and histograms
+  enabled versus disabled — the observability tax on the fast path
+  (``overhead_pct``; the budget is under 10%).
 
 Run it from the repo root::
 
@@ -42,6 +45,7 @@ from repro.bgp.engine import BGPEngine, SiteInjection
 from repro.core.anyopt import AnyOpt
 from repro.core.config import AnycastConfig
 from repro.measurement.targets import select_targets
+from repro.obs.trace import Tracer
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.settings import CampaignSettings
 from repro.topology import TestbedParams, TopologyParams, build_paper_testbed
@@ -115,6 +119,30 @@ def bench_engine(quick: bool) -> dict:
     }
 
 
+def bench_obs(quick: bool) -> dict:
+    """Observability overhead on the fast path: identical convergence
+    work with the tracer + histogram registry attached versus bare."""
+    internet = generate_internet(TopologyParams(n_stub=150, n_tier2=24), seed=SEED)
+    workloads = _engine_workloads(internet)
+    batch = len(workloads)
+    trials = 3 if quick else 10
+
+    plain = BGPEngine(internet)
+    traced = BGPEngine(internet, metrics=MetricsRegistry(), tracer=Tracer())
+    _time_batch(plain, workloads, 4)
+    _time_batch(traced, workloads, 4)
+
+    plain_best = traced_best = float("inf")
+    for _ in range(trials):
+        plain_best = min(plain_best, _time_batch(plain, workloads, batch))
+        traced_best = min(traced_best, _time_batch(traced, workloads, batch))
+    return {
+        "plain_runs_per_s": round(batch / plain_best, 1),
+        "traced_runs_per_s": round(batch / traced_best, 1),
+        "overhead_pct": round(100 * (traced_best / plain_best - 1.0), 1),
+    }
+
+
 def bench_cache(testbed, targets) -> dict:
     anyopt = AnyOpt(
         testbed, targets=targets, seed=SEED, settings=CampaignSettings.noiseless()
@@ -185,6 +213,11 @@ def main(argv=None) -> int:
           f"legacy {engine['legacy_runs_per_s']} runs/s "
           f"-> {engine['speedup']}x")
 
+    obs = bench_obs(args.quick)
+    print(f"obs: plain {obs['plain_runs_per_s']} runs/s, "
+          f"traced {obs['traced_runs_per_s']} runs/s "
+          f"-> {obs['overhead_pct']}% overhead")
+
     stubs = 100 if args.quick else 150
     tier2 = 16 if args.quick else 24
     testbed = build_paper_testbed(
@@ -211,6 +244,7 @@ def main(argv=None) -> int:
             "cpus": os.cpu_count(),
         },
         "engine": engine,
+        "obs": obs,
         "cache": cache,
         "campaign": campaign,
     }

@@ -20,16 +20,20 @@ path is benchmarked and bit-compared against.
 import heapq
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bgp.messages import SitePop
 from repro.bgp.rib import RouterState
 from repro.bgp.router import BGPSpeaker
+from repro.obs.log import get_logger
 from repro.topology.astopo import Relationship
 from repro.topology.generator import Internet
 from repro.util.errors import ReproError
 from repro.util.rng import derive_rng
+
+logger = get_logger("engine")
 
 #: Private ASN used as the anycast origin network (the CDN).
 ANYCAST_ORIGIN_ASN = 65000
@@ -139,6 +143,7 @@ class BGPEngine:
         prefix: str = DEFAULT_ANYCAST_PREFIX,
         cache=None,
         metrics=None,
+        tracer=None,
         reuse_state: bool = True,
     ):
         self.internet = internet
@@ -146,6 +151,7 @@ class BGPEngine:
         self.prefix = prefix
         self.cache = cache
         self.metrics = metrics
+        self.tracer = tracer
         self.reuse_state = reuse_state
         self._pool_lock = threading.Lock()
         self._pool: List[Dict[int, BGPSpeaker]] = []
@@ -244,6 +250,8 @@ class BGPEngine:
             if inj.host_asn not in graph:
                 raise ReproError(f"injection references unknown AS {inj.host_asn}")
 
+        start_unix = time.time()
+        start = time.perf_counter()
         cache_key = None
         if self.cache is not None:
             cache_key = self.cache.key_for(
@@ -251,6 +259,23 @@ class BGPEngine:
             )
             cached = self.cache.lookup(cache_key)
             if cached is not None:
+                elapsed = time.perf_counter() - start
+                if self.metrics is not None:
+                    self.metrics.histogram("convergence_cached_s").observe(elapsed)
+                if self.tracer is not None:
+                    # Attributes are virtual-clock quantities, so the
+                    # span is identical whether served cold or cached —
+                    # except for the cache_hit flag itself.
+                    self.tracer.record(
+                        "converge",
+                        attributes={
+                            "cache_hit": True,
+                            "messages": cached.message_count,
+                            "convergence_time_ms": cached.convergence_time_ms,
+                        },
+                        start_unix=start_unix,
+                        duration_s=elapsed,
+                    )
                 return cached
 
         if self.reuse_state:
@@ -297,6 +322,10 @@ class BGPEngine:
             time_ms, _, kind, receiver, sender, as_path, med = heappop(heap)
             events += 1
             if events > _MAX_EVENTS:
+                logger.error(
+                    "BGP event budget exhausted",
+                    extra={"fields": {"events": events, "messages": messages}},
+                )
                 raise ReproError(
                     "BGP event budget exhausted; the configuration did not converge"
                 )
@@ -346,10 +375,25 @@ class BGPEngine:
                     else:
                         schedule(arrive, "announce", update.neighbor, receiver, update.as_path, update.med)
 
+        elapsed = time.perf_counter() - start
         if self.metrics is not None:
             self.metrics.counter("convergence_runs").increment()
             self.metrics.counter("convergence_messages").increment(messages)
             self.metrics.counter("convergence_events").increment(events)
+            self.metrics.histogram("convergence_cold_s").observe(elapsed)
+            self.metrics.histogram("convergence_events_per_run").observe(events)
+        if self.tracer is not None:
+            self.tracer.record(
+                "converge",
+                attributes={
+                    "cache_hit": False if self.cache is not None else None,
+                    "messages": messages,
+                    "events": events,
+                    "convergence_time_ms": last_time,
+                },
+                start_unix=start_unix,
+                duration_s=elapsed,
+            )
 
         if self.reuse_state:
             states = self._detach_states(speakers)

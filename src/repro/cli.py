@@ -24,6 +24,9 @@ from repro.core.planner import SiteLevelStrategy, plan_measurements
 from repro.core.twolevel import SiteLevelMode
 from repro.io import load_model, load_testbed, save_model, save_testbed
 from repro.measurement import select_targets
+from repro.obs.export import load_trace, write_prometheus, write_trace_jsonl
+from repro.obs.inspect import summarize_trace
+from repro.obs.log import LEVELS, configure_logging
 from repro.report import render_catchment_bars, render_cdf, render_metrics, render_table
 from repro.runtime.settings import CampaignSettings
 from repro.splpo import available_strategies
@@ -315,6 +318,12 @@ def cmd_diff(args) -> int:
     return 0
 
 
+def cmd_inspect_trace(args) -> int:
+    records = load_trace(args.trace_file)
+    print(summarize_trace(records, top=args.top))
+    return 0
+
+
 def cmd_plan(args) -> int:
     plan = plan_measurements(
         n_sites=args.sites,
@@ -374,6 +383,30 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="persist converged BGP states under DIR so repeated invocations "
         "(and process-pool workers) reuse each other's convergence work",
+    )
+    stats.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="export the campaign's span tree as JSONL to PATH "
+        "(inspect it with 'anyopt inspect-trace PATH')",
+    )
+    stats.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="export campaign metrics as Prometheus text exposition to PATH",
+    )
+    stats.add_argument(
+        "--log-level",
+        choices=list(LEVELS),
+        default=None,
+        help="structured-log verbosity for the repro.* loggers (default: warning)",
+    )
+    stats.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured logs as JSON lines instead of key=value text",
     )
 
     # Fault-injection and retry knobs, shared by campaign subcommands.
@@ -512,6 +545,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--after", type=_parse_id_list, required=True)
     p.set_defaults(func=cmd_diff)
 
+    p = sub.add_parser(
+        "inspect-trace",
+        help="summarize a --trace JSONL file: slowest experiments, retry "
+        "hot spots, fault timeline, phase breakdown",
+    )
+    p.add_argument("trace_file", metavar="TRACE", help="JSONL file written by --trace")
+    p.add_argument(
+        "--top",
+        type=_positive_int,
+        default=10,
+        help="rows in the slowest-experiments and retry tables",
+    )
+    p.set_defaults(func=cmd_inspect_trace)
+
     p = sub.add_parser("plan", help="measurement budget analysis (S4.5)")
     p.add_argument("--sites", type=int, required=True)
     p.add_argument("--providers", type=int, required=True)
@@ -527,6 +574,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(
+        level=getattr(args, "log_level", None) or "warning",
+        json_output=getattr(args, "log_json", False),
+    )
     try:
         if getattr(args, "profile", None):
             import cProfile
@@ -540,9 +591,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             code = args.func(args)
         anyopt = getattr(args, "_anyopt", None)
-        if getattr(args, "stats", False) and anyopt is not None:
-            print("\ncampaign stats:")
-            print(render_metrics(anyopt.metrics.snapshot()))
+        if anyopt is not None:
+            if getattr(args, "stats", False):
+                print("\ncampaign stats:")
+                print(render_metrics(anyopt.metrics.snapshot()))
+            if getattr(args, "trace", None):
+                write_trace_jsonl(anyopt.tracer.records(), args.trace)
+                print(f"trace written to {args.trace}")
+            if getattr(args, "metrics_out", None):
+                write_prometheus(anyopt.metrics.snapshot(), args.metrics_out)
+                print(f"metrics written to {args.metrics_out}")
         return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

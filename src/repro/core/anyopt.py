@@ -97,6 +97,11 @@ class AnyOpt:
         """The campaign's :class:`~repro.runtime.metrics.MetricsRegistry`."""
         return self.orchestrator.metrics
 
+    @property
+    def tracer(self):
+        """The campaign's :class:`~repro.obs.trace.Tracer`."""
+        return self.orchestrator.tracer
+
     # -- measurement -------------------------------------------------------
 
     def discover(
@@ -156,7 +161,16 @@ class AnyOpt:
                 checkpoint_io.save_checkpoint(progress, checkpoint_path)
 
         try:
-            with self.metrics.phase("discover"):
+            # The campaign root span.  Executor kind and parallelism
+            # are deliberately NOT attributes: the exported trace must
+            # be identical across --executor modes.
+            with self.metrics.phase("discover"), self.tracer.span(
+                "discover",
+                sites=len(self.testbed.site_ids()),
+                providers=len(self.testbed.provider_asns()),
+                site_level=self.site_level_mode.value,
+                resumed=resume_from is not None,
+            ):
                 if progress.rtt_matrix is not None:
                     rtt_matrix = progress.rtt_matrix
                 else:
@@ -214,7 +228,9 @@ class AnyOpt:
         """Deploy ``config`` and compare predictions with measurements
         (the S5.2 experiment)."""
         deployment = self.orchestrator.deploy(config)
-        return model.predictor.evaluate(config, deployment, self.targets)
+        return model.predictor.evaluate(
+            config, deployment, self.targets, metrics=self.metrics
+        )
 
     def incorporate_peers(
         self,

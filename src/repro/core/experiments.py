@@ -150,11 +150,20 @@ class ExperimentRunner:
     # -- sweeps ---------------------------------------------------------------
 
     def pairwise_tasks(
-        self, sites: Sequence[Tuple[int, int]], ordered: bool = True
+        self,
+        sites: Sequence[Tuple[int, int]],
+        ordered: bool = True,
+        parent_span_id: Optional[str] = None,
     ) -> List["ExperimentTask"]:
         """Reserve experiment ids for the given site pairs — in pair
         order, matching what a serial sweep would consume — and return
-        the ready-to-dispatch experiment descriptors."""
+        the ready-to-dispatch experiment descriptors.
+
+        ``parent_span_id`` parents each task's experiment span to the
+        surrounding campaign-phase span; it rides inside the (picklable)
+        descriptor because worker threads and processes cannot see the
+        dispatching thread's current span.
+        """
         tasks = []
         for a, b in sites:
             if ordered:
@@ -170,6 +179,7 @@ class ExperimentRunner:
                     subject=f"pair ({a}, {b})",
                     site_a=a,
                     site_b=b,
+                    parent_span_id=parent_span_id,
                 )
             )
         return tasks
@@ -197,9 +207,15 @@ class ExperimentRunner:
         sites = sorted(set(site_ids))
         pairs = [(a, b) for i, a in enumerate(sites) for b in sites[i + 1:]]
         executor = executor if executor is not None else SerialExecutor()
-        results = executor.run_experiments(
-            self.orchestrator, self.pairwise_tasks(pairs, ordered=ordered), progress=progress
-        )
+        with self.orchestrator.tracer.span(
+            "pairwise-sweep", sites=sites, ordered=ordered
+        ) as sweep:
+            tasks = self.pairwise_tasks(
+                pairs, ordered=ordered, parent_span_id=sweep.span_id
+            )
+            results = executor.run_experiments(
+                self.orchestrator, tasks, progress=progress
+            )
         matrix = PreferenceMatrix()
         undecided = self.orchestrator.metrics.counter("undecided_cells")
         for (a, b), result in zip(pairs, results):
@@ -231,6 +247,10 @@ class ExperimentTask:
 
     ``subject`` is the human-readable label used when the experiment
     degrades into a :class:`~repro.runtime.retry.FailedExperiment`.
+
+    ``parent_span_id`` carries the dispatching phase's span id across
+    the executor (and process) boundary, so the experiment's trace
+    span lands under the right parent no matter which worker runs it.
     """
 
     kind: str
@@ -242,6 +262,7 @@ class ExperimentTask:
     peer_id: Optional[int] = None
     base_config: Optional[AnycastConfig] = None
     base_mean_rtt_ms: Optional[float] = None
+    parent_span_id: Optional[str] = None
 
 
 #: How each task kind is reported when it fails (the vocabulary of
@@ -254,6 +275,93 @@ _FAILURE_KIND = {
 }
 
 
+def _announce_orders(task: ExperimentTask) -> List[List[int]]:
+    """The announcement order(s) an experiment task deploys — a span
+    attribute, so a trace records how each preference was probed."""
+    if task.kind == "pairwise":
+        return [[task.site_a, task.site_b], [task.site_b, task.site_a]]
+    if task.kind == "pairwise-simultaneous":
+        return [[task.site_a, task.site_b]]
+    if task.kind == "rtt-row":
+        return [[task.site_id]]
+    if task.kind == "peer-probe" and task.base_config is not None:
+        return [list(task.base_config.site_order)]
+    return []
+
+
+def _task_span_attributes(task: ExperimentTask) -> Dict:
+    attributes = {
+        "kind": task.kind,
+        "subject": task.subject,
+        "experiment_ids": list(task.experiment_ids),
+        "announce_orders": _announce_orders(task),
+    }
+    if task.site_a is not None:
+        attributes["site_pair"] = [task.site_a, task.site_b]
+    if task.site_id is not None:
+        attributes["site_id"] = task.site_id
+    if task.peer_id is not None:
+        attributes["peer_id"] = task.peer_id
+    return attributes
+
+
+def _annotate_experiment_span(tracer, span, task: ExperimentTask) -> None:
+    """Roll retry and fault activity up from the finished descendants,
+    so one experiment span answers "did this experiment struggle"."""
+    if span.span_id is None:  # tracing disabled
+        return
+    retries = 0
+    faults: Dict[str, int] = {}
+    for record in tracer.records_under(span.span_id):
+        if record["name"] == "attempt" and record["status"] == "error":
+            retries += 1
+        for event in record["events"]:
+            if event["name"] == "fault":
+                fault = event["attributes"]["fault"]
+                faults[fault] = faults.get(fault, 0) + 1
+    span.set_attribute("retries", retries)
+    span.set_attribute("faults", dict(sorted(faults.items())))
+
+
+def _dispatch_experiment_task(orchestrator: Orchestrator, task: ExperimentTask):
+    if task.kind == "pairwise":
+        runner = ExperimentRunner(orchestrator)
+        return runner.run_pairwise(task.site_a, task.site_b, task.experiment_ids)
+    if task.kind == "pairwise-simultaneous":
+        runner = ExperimentRunner(orchestrator)
+        return runner.run_pairwise_simultaneous(
+            task.site_a, task.site_b, task.experiment_ids[0]
+        )
+    if task.kind == "rtt-row":
+        deployment = orchestrator.deploy(
+            AnycastConfig(site_order=(task.site_id,)),
+            experiment_id=task.experiment_ids[0],
+        )
+        with orchestrator.tracer.span(
+            "probe",
+            kind="rtt",
+            experiment_id=deployment.experiment_id,
+            targets=len(orchestrator.targets),
+        ):
+            return [
+                (target.target_id, deployment.measure_rtt(target))
+                for target in orchestrator.targets
+            ]
+    if task.kind == "peer-probe":
+        # Imported here: repro.core.peers imports this module's
+        # ExperimentTask, so a module-level import would be a cycle.
+        from repro.core.peers import probe_peer
+
+        return probe_peer(
+            orchestrator,
+            task.base_config,
+            task.peer_id,
+            task.base_mean_rtt_ms,
+            task.experiment_ids[0],
+        )
+    raise ConfigurationError(f"unknown experiment task kind {task.kind!r}")
+
+
 def execute_experiment_task(orchestrator: Orchestrator, task: ExperimentTask):
     """Run one :class:`ExperimentTask` against ``orchestrator``.
 
@@ -262,39 +370,25 @@ def execute_experiment_task(orchestrator: Orchestrator, task: ExperimentTask):
     exceptions: executors only return records, and the main-process
     collection loop records them, so the failure log order is the task
     order regardless of executor (or process boundary).
-    """
-    try:
-        if task.kind == "pairwise":
-            runner = ExperimentRunner(orchestrator)
-            return runner.run_pairwise(task.site_a, task.site_b, task.experiment_ids)
-        if task.kind == "pairwise-simultaneous":
-            runner = ExperimentRunner(orchestrator)
-            return runner.run_pairwise_simultaneous(
-                task.site_a, task.site_b, task.experiment_ids[0]
-            )
-        if task.kind == "rtt-row":
-            deployment = orchestrator.deploy(
-                AnycastConfig(site_order=(task.site_id,)),
-                experiment_id=task.experiment_ids[0],
-            )
-            return [
-                (target.target_id, deployment.measure_rtt(target))
-                for target in orchestrator.targets
-            ]
-        if task.kind == "peer-probe":
-            # Imported here: repro.core.peers imports this module's
-            # ExperimentTask, so a module-level import would be a cycle.
-            from repro.core.peers import probe_peer
 
-            return probe_peer(
-                orchestrator,
-                task.base_config,
-                task.peer_id,
-                task.base_mean_rtt_ms,
-                task.experiment_ids[0],
+    The whole task runs inside one ``experiment`` span keyed by its
+    first reserved experiment id (``…/exp:17``) and parented to
+    ``task.parent_span_id`` — explicitly, never to the worker thread's
+    ambient span, so the span tree is identical across executors.
+    """
+    tracer = orchestrator.tracer
+    with tracer.span(
+        "experiment",
+        key=f"exp:{task.experiment_ids[0]}",
+        parent=task.parent_span_id,
+        **_task_span_attributes(task),
+    ) as span:
+        try:
+            result = _dispatch_experiment_task(orchestrator, task)
+        except MeasurementError as exc:
+            result = FailedExperiment.from_error(
+                _FAILURE_KIND[task.kind], task.subject, task.experiment_ids, exc
             )
-        raise ConfigurationError(f"unknown experiment task kind {task.kind!r}")
-    except MeasurementError as exc:
-        return FailedExperiment.from_error(
-            _FAILURE_KIND[task.kind], task.subject, task.experiment_ids, exc
-        )
+            span.set_error(result.error)
+        _annotate_experiment_span(tracer, span, task)
+        return result

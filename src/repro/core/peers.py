@@ -82,17 +82,24 @@ def probe_peer(
     catchment: set = set()
     catchment_rtts: Dict[int, float] = {}
     rtts: List[float] = []
-    for target in orchestrator.targets:
-        outcome = deployment.forwarding(target)
-        if outcome is None:
-            continue
-        measured = deployment.measure_rtt(target)
-        if measured is None:
-            continue
-        rtts.append(measured)
-        if outcome.terminating_asn == link.peer_asn:
-            catchment.add(target.target_id)
-            catchment_rtts[target.target_id] = measured
+    with orchestrator.tracer.span(
+        "probe",
+        kind="peer",
+        experiment_id=deployment.experiment_id,
+        peer_id=peer_id,
+        targets=len(orchestrator.targets),
+    ):
+        for target in orchestrator.targets:
+            outcome = deployment.forwarding(target)
+            if outcome is None:
+                continue
+            measured = deployment.measure_rtt(target)
+            if measured is None:
+                continue
+            rtts.append(measured)
+            if outcome.terminating_asn == link.peer_asn:
+                catchment.add(target.target_id)
+                catchment_rtts[target.target_id] = measured
     mean_rtt = mean(rtts) if rtts else float("inf")
     return PeerProbeResult(
         peer_id=peer_id,
@@ -145,18 +152,21 @@ def one_pass_peer_selection(
     base_mean = mean(base_rtts.values())
 
     probe_ids = orchestrator.reserve_experiment_ids(len(peer_ids))
-    tasks = [
-        ExperimentTask(
-            kind="peer-probe",
-            experiment_ids=(exp_id,),
-            subject=f"peer {peer_id}",
-            peer_id=peer_id,
-            base_config=base_config,
-            base_mean_rtt_ms=base_mean,
-        )
-        for peer_id, exp_id in zip(peer_ids, probe_ids)
-    ]
-    with orchestrator.metrics.phase("one-pass-peers"):
+    with orchestrator.metrics.phase("one-pass-peers"), orchestrator.tracer.span(
+        "one-pass-peers", peers=list(peer_ids)
+    ) as phase_span:
+        tasks = [
+            ExperimentTask(
+                kind="peer-probe",
+                experiment_ids=(exp_id,),
+                subject=f"peer {peer_id}",
+                peer_id=peer_id,
+                base_config=base_config,
+                base_mean_rtt_ms=base_mean,
+                parent_span_id=phase_span.span_id,
+            )
+            for peer_id, exp_id in zip(peer_ids, probe_ids)
+        ]
         outcomes = executor.run_experiments(orchestrator, tasks)
     probes: List[PeerProbeResult] = []
     for outcome in outcomes:

@@ -104,12 +104,17 @@ class CatchmentPredictor:
         config: AnycastConfig,
         deployment: Deployment,
         targets: Iterable[PingTarget],
+        metrics=None,
     ) -> PredictionReport:
         """Compare predictions against a real (simulated) deployment.
 
         Catchment accuracy is scored over clients with a prediction
         and a measured catchment; the measured mean RTT includes
         unpredictable clients too, exactly as the paper does (S4.2).
+
+        ``metrics`` (a :class:`~repro.runtime.metrics.MetricsRegistry`)
+        receives the per-target predicted RTT distribution in the
+        ``predicted_rtt_ms`` histogram.
         """
         targets = list(targets)
         measured_map = deployment.measure_catchments(targets)
@@ -133,6 +138,10 @@ class CatchmentPredictor:
             n_predicted += 1
             if predicted_site == measured_site:
                 n_correct += 1
+        if metrics is not None:
+            histogram = metrics.histogram("predicted_rtt_ms")
+            for rtt in predicted_rtts:
+                histogram.observe(rtt)
         if not predicted_rtts or not measured_rtts:
             raise ReproError("configuration produced no comparable RTTs")
         return PredictionReport(

@@ -170,6 +170,7 @@ def discover_two_level(
     """
     testbed = runner.orchestrator.testbed
     metrics = runner.orchestrator.metrics
+    tracer = runner.orchestrator.tracer
     provider_list = list(providers) if providers is not None else testbed.provider_asns()
     executor = executor if executor is not None else SerialExecutor()
 
@@ -187,9 +188,13 @@ def discover_two_level(
             for pb in provider_list[i + 1:]
         ]
         undecided = metrics.counter("undecided_cells")
-        with metrics.phase("provider-pairwise"):
+        with metrics.phase("provider-pairwise"), tracer.span(
+            "provider-pairwise", providers=provider_list, ordered=ordered
+        ) as phase_span:
             tasks = runner.pairwise_tasks(
-                [(reps[pa], reps[pb]) for pa, pb in provider_pairs], ordered=ordered
+                [(reps[pa], reps[pb]) for pa, pb in provider_pairs],
+                ordered=ordered,
+                parent_span_id=phase_span.span_id,
             )
             results = executor.run_experiments(runner.orchestrator, tasks)
         for (pa, pb), result in zip(provider_pairs, results):
@@ -221,7 +226,9 @@ def discover_two_level(
     # RTT heuristic.
     site_matrices: Dict[int, PreferenceMatrix] = {}
     if site_level_mode is SiteLevelMode.PAIRWISE:
-        with metrics.phase("site-pairwise"):
+        with metrics.phase("site-pairwise"), tracer.span(
+            "site-pairwise", providers=provider_list
+        ):
             for provider in provider_list:
                 if progress is not None and provider in progress.site_matrices:
                     site_matrices[provider] = progress.site_matrices[provider]

@@ -33,10 +33,14 @@ import pickle
 import threading
 from typing import Tuple
 
+from repro.obs.log import get_logger
+
 #: Envelope identifier and version; bump the version whenever the
 #: pickled state layout or the key construction changes.
 STORE_FORMAT = "anyopt-convergence"
 STORE_VERSION = 1
+
+logger = get_logger("cachestore")
 
 
 def topology_fingerprint(graph, prefix: str) -> str:
@@ -92,7 +96,13 @@ class ConvergenceStore:
         try:
             with open(filename, "rb") as fh:
                 payload = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+        except FileNotFoundError:
+            return None  # an ordinary miss: stay silent
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError) as exc:
+            logger.warning(
+                "unreadable convergence-store entry treated as a miss",
+                extra={"fields": {"file": filename, "error": f"{type(exc).__name__}: {exc}"}},
+            )
             return None
         if (
             not isinstance(payload, dict)
@@ -100,6 +110,16 @@ class ConvergenceStore:
             or payload.get("version") != STORE_VERSION
             or payload.get("key_repr") != key_repr
         ):
+            logger.warning(
+                "mismatched convergence-store entry treated as a miss",
+                extra={
+                    "fields": {
+                        "file": filename,
+                        "format": payload.get("format") if isinstance(payload, dict) else None,
+                        "version": payload.get("version") if isinstance(payload, dict) else None,
+                    }
+                },
+            )
             return None
         return payload.get("state")
 

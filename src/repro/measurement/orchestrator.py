@@ -9,6 +9,7 @@ and the orchestrator keeps a running tally.
 """
 
 import threading
+import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.util.rng import derive_rng, stable_hash
@@ -21,6 +22,8 @@ from repro.measurement.rtt import RttMatrix, estimate_rtt
 from repro.measurement.targets import PingTarget, TargetSet
 from repro.measurement.tunnels import TunnelManager
 from repro.measurement.verfploeter import CatchmentMap, measure_catchments
+from repro.obs.log import get_logger
+from repro.obs.trace import Tracer
 from repro.runtime.cache import ConvergenceCache
 from repro.runtime.executor import CampaignExecutor, SerialExecutor
 from repro.runtime.faults import FaultInjector
@@ -31,6 +34,8 @@ from repro.topology.astopo import Relationship
 from repro.topology.testbed import Testbed
 from repro.util.errors import ConfigurationError, MeasurementError
 from repro.util.stats import mean
+
+logger = get_logger("orchestrator")
 
 
 class Deployment:
@@ -74,6 +79,7 @@ class Deployment:
                 orchestrator.retry_policy,
                 metrics=orchestrator.metrics,
                 description=f"probe session of experiment {self.experiment_id}",
+                tracer=orchestrator.tracer,
             )
         self._probe_session_ok = True
 
@@ -106,9 +112,15 @@ class Deployment:
 
     def measure_catchments(self, targets: Optional[Iterable[PingTarget]] = None) -> CatchmentMap:
         """Verfploeter-style catchment map of this deployment."""
-        self._ensure_probe_session()
-        targets = self.orchestrator.targets if targets is None else targets
-        return measure_catchments(self, targets, self.orchestrator.prober)
+        targets = self.orchestrator.targets if targets is None else list(targets)
+        with self.orchestrator.tracer.span(
+            "probe",
+            kind="catchment",
+            experiment_id=self.experiment_id,
+            targets=len(targets),
+        ):
+            self._ensure_probe_session()
+            return measure_catchments(self, targets, self.orchestrator.prober)
 
     def measure_rtt(self, target: PingTarget) -> Optional[float]:
         """Median-of-seven RTT estimate to the target's catchment site."""
@@ -140,6 +152,10 @@ class Deployment:
         rtts = [r for r in (self.measure_rtt(t) for t in targets) if r is not None]
         if not rtts:
             self.orchestrator.metrics.counter("measurements_empty").increment()
+            logger.warning(
+                "no reachable targets for deployment",
+                extra={"fields": {"experiment_id": self.experiment_id}},
+            )
             return None
         return mean(rtts)
 
@@ -175,6 +191,7 @@ class Orchestrator:
         settings: Optional[CampaignSettings] = None,
         *,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
         session_churn_prob: Optional[float] = None,
         rtt_drift_sigma: Optional[float] = None,
         rtt_bias_sigma: Optional[float] = None,
@@ -197,6 +214,7 @@ class Orchestrator:
         self.rtt_bias_sigma = self.settings.rtt_bias_sigma
         self.bgp_delay_jitter_ms = self.settings.bgp_delay_jitter_ms
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
         store = None
         if self.settings.convergence_cache and self.settings.convergence_cache_path:
             # Imported here: repro.io imports repro.core, which imports
@@ -219,11 +237,16 @@ class Orchestrator:
             else None
         )
         self.engine = BGPEngine(
-            testbed.internet, cache=self.convergence_cache, metrics=self.metrics
+            testbed.internet,
+            cache=self.convergence_cache,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         self.prober = IcmpProber(seed=seed)
         self.tunnels = TunnelManager(testbed, seed=seed)
-        self.faults = FaultInjector(seed, self.settings, metrics=self.metrics)
+        self.faults = FaultInjector(
+            seed, self.settings, metrics=self.metrics, tracer=self.tracer
+        )
         self.retry_policy = RetryPolicy.from_settings(self.settings)
         self._experiment_count = 0
         self._id_lock = threading.Lock()
@@ -322,6 +345,16 @@ class Orchestrator:
         with self._failure_lock:
             self.failures.append(failure)
         self.metrics.counter("experiments_failed").increment()
+        logger.warning(
+            "experiment degraded",
+            extra={"fields": {
+                "kind": failure.kind,
+                "subject": failure.subject,
+                "experiment_ids": list(failure.experiment_ids),
+                "attempts": failure.attempts,
+                "error": failure.error,
+            }},
+        )
 
     def deploy(
         self, config: AnycastConfig, experiment_id: Optional[int] = None
@@ -339,10 +372,13 @@ class Orchestrator:
         """
         experiment_id = self._claim_experiment_id(experiment_id)
         injections = self._injections(config)
+        attempts_used = [0]
 
         def attempt_deploy(attempt: int) -> ConvergedState:
-            self.faults.raise_if("session-reset", experiment_id, attempt)
-            self.faults.raise_if("announcement", experiment_id, attempt)
+            attempts_used[0] = attempt + 1
+            with self.tracer.span("announce", injections=len(injections)):
+                self.faults.raise_if("session-reset", experiment_id, attempt)
+                self.faults.raise_if("announcement", experiment_id, attempt)
             with self.metrics.timer("deploy").time():
                 converged = self.engine.run(
                     injections,
@@ -353,13 +389,36 @@ class Orchestrator:
             self.faults.raise_if("convergence-timeout", experiment_id, attempt)
             return converged
 
-        converged = run_with_retry(
-            attempt_deploy,
-            self.retry_policy,
-            metrics=self.metrics,
-            description=f"deployment of experiment {experiment_id}",
-        )
+        start = time.perf_counter()
+        with self.tracer.span(
+            "deploy",
+            experiment_id=experiment_id,
+            site_order=list(config.site_order),
+            peer_ids=list(config.peer_ids),
+        ) as span:
+            try:
+                converged = run_with_retry(
+                    attempt_deploy,
+                    self.retry_policy,
+                    metrics=self.metrics,
+                    description=f"deployment of experiment {experiment_id}",
+                    tracer=self.tracer,
+                )
+            finally:
+                span.set_attribute("attempts", attempts_used[0])
+                span.set_attribute("retries", max(0, attempts_used[0] - 1))
+                self.metrics.histogram("experiment_wall_s").observe(
+                    time.perf_counter() - start
+                )
         self.metrics.counter("experiments").increment()
+        logger.debug(
+            "deployed configuration",
+            extra={"fields": {
+                "experiment_id": experiment_id,
+                "sites": list(config.site_order),
+                "attempts": attempts_used[0],
+            }},
+        )
         return Deployment(self, config, converged, experiment_id)
 
     # -- drift models -----------------------------------------------------------
@@ -468,16 +527,19 @@ class Orchestrator:
         site_ids = self.testbed.site_ids() if site_ids is None else list(site_ids)
         executor = executor if executor is not None else SerialExecutor()
         ids = self.reserve_experiment_ids(len(site_ids))
-        tasks = [
-            ExperimentTask(
-                kind="rtt-row",
-                experiment_ids=(experiment_id,),
-                subject=f"site {site_id}",
-                site_id=site_id,
-            )
-            for site_id, experiment_id in zip(site_ids, ids)
-        ]
-        with self.metrics.phase("rtt-matrix"):
+        with self.metrics.phase("rtt-matrix"), self.tracer.span(
+            "rtt-matrix", sites=len(site_ids)
+        ) as span:
+            tasks = [
+                ExperimentTask(
+                    kind="rtt-row",
+                    experiment_ids=(experiment_id,),
+                    subject=f"site {site_id}",
+                    site_id=site_id,
+                    parent_span_id=span.span_id,
+                )
+                for site_id, experiment_id in zip(site_ids, ids)
+            ]
             rows = executor.run_experiments(self, tasks)
         matrix = RttMatrix()
         for site_id, row in zip(site_ids, rows):

@@ -1,0 +1,39 @@
+"""Observability for measurement campaigns: traces, logs, exporters.
+
+``repro.obs`` layers three views over a running campaign:
+
+* :mod:`repro.obs.trace` — hierarchical spans with deterministic ids,
+  recorded in memory and mergeable across thread/process workers;
+* :mod:`repro.obs.log` — structured stdlib logging (key=value or
+  JSON) under the ``repro.`` namespace;
+* :mod:`repro.obs.export` — JSONL trace files and Prometheus text
+  exposition, both pure views over recorded state.
+
+Nothing in this package may import :mod:`repro.runtime` (the runtime
+imports us); everything here is stdlib plus ``repro.util``.
+Observability must also never feed back into the campaign's seeded
+RNG streams — spans and logs observe, they do not perturb.
+"""
+
+from repro.obs.log import JsonFormatter, KeyValueFormatter, configure_logging, get_logger
+from repro.obs.trace import (
+    CURRENT,
+    Span,
+    Tracer,
+    render_record,
+    span_sort_key,
+    strip_timing,
+)
+
+__all__ = [
+    "CURRENT",
+    "JsonFormatter",
+    "KeyValueFormatter",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "render_record",
+    "span_sort_key",
+    "strip_timing",
+]

@@ -1,0 +1,100 @@
+"""Exporters: JSONL trace files and Prometheus text exposition.
+
+Both exports are *views* over what the tracer and registry already
+hold — they never mutate campaign state, so exporting is safe at any
+point and (for traces) byte-identical across executor modes once the
+wall-clock fields are excluded.
+"""
+
+import json
+from typing import Dict, List
+
+from repro.obs.trace import render_record, span_sort_key
+from repro.util.errors import ReproError
+
+#: Quantiles rendered for each histogram in the Prometheus summary.
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+# -- JSONL traces -----------------------------------------------------------
+
+
+def write_trace_jsonl(records: List[Dict], path) -> None:
+    """Write span records as one JSON object per line, sorted by span
+    id (the deterministic export order)."""
+    ordered = sorted(records, key=lambda r: span_sort_key(r["span_id"]))
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in ordered:
+            fh.write(render_record(record))
+            fh.write("\n")
+
+
+def load_trace(path) -> List[Dict]:
+    """Read a JSONL trace file back into span records."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"corrupt trace line {lineno} in {path}: {exc}")
+            if not isinstance(record, dict) or "span_id" not in record:
+                raise ReproError(f"trace line {lineno} in {path} is not a span record")
+            records.append(record)
+    return records
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    sanitized = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return f"anyopt_{sanitized}{suffix}"
+
+
+def _fmt(value) -> str:
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text
+    exposition format (version 0.0.4).
+
+    Counters become ``anyopt_<name>_total``, timers a pair of
+    ``_seconds_total`` / ``_sections_total`` counters, and histograms
+    Prometheus *summaries* with exact ``quantile`` lines (we keep all
+    raw observations, so no bucketing error is introduced).
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _metric_name(name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("timers", {})):
+        timer = snapshot["timers"][name]
+        seconds = _metric_name(name, "_seconds_total")
+        lines.append(f"# TYPE {seconds} counter")
+        lines.append(f"{seconds} {_fmt(timer['total_seconds'])}")
+        sections = _metric_name(name, "_sections_total")
+        lines.append(f"# TYPE {sections} counter")
+        lines.append(f"{sections} {timer['count']}")
+    for name in sorted(snapshot.get("histograms", {})):
+        summary = snapshot["histograms"][name]
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        if summary.get("count"):
+            for quantile, key in _QUANTILES:
+                lines.append(f'{metric}{{quantile="{quantile}"}} {_fmt(summary[key])}')
+            lines.append(f"{metric}_sum {_fmt(summary['sum'])}")
+        lines.append(f"{metric}_count {summary.get('count', 0)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(snapshot: Dict, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_prometheus(snapshot))

@@ -119,9 +119,11 @@ def render_histogram(
 def render_metrics(snapshot: Dict) -> str:
     """Render a campaign-metrics snapshot (the dict produced by
     :meth:`repro.runtime.metrics.MetricsRegistry.snapshot`) as aligned
-    tables: one for counters/timers, one row per campaign phase."""
+    tables: one for counters/timers, one with percentile summaries per
+    histogram, one row per campaign phase."""
     counters = snapshot.get("counters", {})
     timers = snapshot.get("timers", {})
+    histograms = snapshot.get("histograms", {})
     phases = snapshot.get("phases", [])
     rows = [[name, str(counters[name])] for name in sorted(counters)]
     lookups = counters.get("convergence_cache_hits", 0) + counters.get(
@@ -137,11 +139,31 @@ def render_metrics(snapshot: Dict) -> str:
         ]
         for name in sorted(timers)
     )
-    if not rows and not phases:
+    if not rows and not histograms and not phases:
         return "(no campaign metrics recorded)"
     sections: List[str] = []
     if rows:
         sections.append(render_table(["metric", "value"], rows))
+    if histograms:
+        histogram_rows = [
+            [
+                name,
+                histograms[name].get("count", 0),
+                histograms[name].get("mean", 0.0),
+                histograms[name].get("p50", 0.0),
+                histograms[name].get("p90", 0.0),
+                histograms[name].get("p99", 0.0),
+                histograms[name].get("max", 0.0),
+            ]
+            for name in sorted(histograms)
+        ]
+        sections.append(
+            render_table(
+                ["histogram", "count", "mean", "p50", "p90", "p99", "max"],
+                histogram_rows,
+                float_format="{:.4g}",
+            )
+        )
     if phases:
         phase_rows = [
             [

@@ -12,9 +12,10 @@ supplies the runtime machinery the drivers in :mod:`repro.core` and
 - :mod:`repro.runtime.cache` — an exact-input LRU cache of converged
   BGP states, so redeployments of the same configuration skip
   re-propagation;
-- :mod:`repro.runtime.metrics` — counters, timers, and per-phase
-  campaign summaries (surfaced via ``AnyOpt.metrics``, the CLI's
-  ``--stats`` flag, and ``repro.report.render_metrics``);
+- :mod:`repro.runtime.metrics` — counters, timers, histograms with
+  percentile summaries, and per-phase campaign summaries (surfaced via
+  ``AnyOpt.metrics``, the CLI's ``--stats`` / ``--metrics-out`` flags,
+  and ``repro.report.render_metrics``);
 - :mod:`repro.runtime.settings` — :class:`CampaignSettings`, the
   single home of every campaign knob, with deprecation shims for the
   old per-knob constructor arguments;
@@ -41,7 +42,7 @@ from repro.runtime.faults import (
     ProbeBlackoutError,
     SessionResetError,
 )
-from repro.runtime.metrics import Counter, MetricsRegistry, PhaseRecord, Timer
+from repro.runtime.metrics import Counter, Histogram, MetricsRegistry, PhaseRecord, Timer
 from repro.runtime.retry import (
     FailedExperiment,
     RetryPolicy,
@@ -58,6 +59,7 @@ __all__ = [
     "Counter",
     "FailedExperiment",
     "FaultInjector",
+    "Histogram",
     "MetricsRegistry",
     "PhaseRecord",
     "PooledExecutor",

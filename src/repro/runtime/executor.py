@@ -20,9 +20,10 @@ Three executors implement that contract:
 - :class:`ProcessExecutor` — a pool of forked worker processes, each
   owning an orchestrator rebuilt from the campaign's picklable spec
   (testbed, targets, seed, settings).  This sidesteps the GIL for
-  CPU-bound convergence work; each worker's counter and timer movement
-  is shipped back per task and merged into the main registry, so
-  ``--stats`` reads the same either way.  Worker-local convergence
+  CPU-bound convergence work; each worker's counter, timer, histogram,
+  and trace-span movement is shipped back per task and merged into the
+  main registry and tracer, so ``--stats`` and ``--trace`` read the
+  same either way.  Worker-local convergence
   caches warm independently (share them across processes with
   ``convergence_cache_path``).
 """
@@ -183,18 +184,23 @@ def _snapshot_deltas(before: Dict, after: Dict) -> Tuple[Dict, Dict]:
 def _run_worker_task(task):
     """Execute one descriptor in a worker process.
 
-    Returns ``(result, counter_deltas, timer_deltas)``; the main
-    process merges the deltas so campaign metrics are complete even
-    though each worker records into its own registry.
+    Returns ``(result, counter_deltas, timer_deltas, histogram_deltas,
+    span_records)``; the main process merges the deltas so campaign
+    metrics and traces are complete even though each worker records
+    into its own registry and tracer.
     """
     from repro.core.experiments import execute_experiment_task
 
     orchestrator = _WORKER_ORCHESTRATOR
     orchestrator.adopt_reserved_ids(task.experiment_ids)
     before = orchestrator.metrics.snapshot()
+    histogram_marks = orchestrator.metrics.histogram_counts()
+    span_mark = orchestrator.tracer.finished_count
     result = execute_experiment_task(orchestrator, task)
     counters, timers = _snapshot_deltas(before, orchestrator.metrics.snapshot())
-    return result, counters, timers
+    histograms = orchestrator.metrics.histogram_values_since(histogram_marks)
+    spans = orchestrator.tracer.export_finished_since(span_mark)
+    return result, counters, timers, histograms, spans
 
 
 class ProcessExecutor(CampaignExecutor):
@@ -264,8 +270,9 @@ class ProcessExecutor(CampaignExecutor):
         results: List = []
         total = len(tasks)
         for done, future in enumerate(futures, start=1):
-            result, counters, timers = future.result()
-            orchestrator.metrics.merge_deltas(counters, timers)
+            result, counters, timers, histograms, spans = future.result()
+            orchestrator.metrics.merge_deltas(counters, timers, histograms)
+            orchestrator.tracer.merge_spans(spans)
             results.append(result)
             if progress is not None:
                 progress(done, total)

@@ -27,10 +27,13 @@ of deterministically re-failing.
 
 from typing import Optional
 
+from repro.obs.log import get_logger
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.settings import CampaignSettings
 from repro.util.errors import TransientError
 from repro.util.rng import derive_rng
+
+logger = get_logger("faults")
 
 
 class AnnouncementFailureError(TransientError):
@@ -76,9 +79,11 @@ class FaultInjector:
         seed,
         settings: CampaignSettings,
         metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ):
         self.seed = seed
         self.metrics = metrics
+        self.tracer = tracer
         self._probs = {
             kind: getattr(settings, field) for kind, (field, _) in FAULT_KINDS.items()
         }
@@ -106,6 +111,18 @@ class FaultInjector:
         if self.metrics is not None:
             self.metrics.counter(FAULTS_COUNTER).increment()
             self.metrics.counter(f"fault_{fault}").increment()
+        if self.tracer is not None:
+            self.tracer.add_event(
+                "fault", fault=fault, experiment_id=experiment_id, attempt=attempt
+            )
+        logger.info(
+            "fault injected",
+            extra={"fields": {
+                "fault": fault,
+                "experiment_id": experiment_id,
+                "attempt": attempt,
+            }},
+        )
         error_cls = FAULT_KINDS[fault][1]
         raise error_cls(
             f"injected {fault} fault (experiment {experiment_id}, "

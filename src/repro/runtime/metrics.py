@@ -1,4 +1,4 @@
-"""Counters, timers, and per-phase summaries for measurement campaigns.
+"""Counters, timers, histograms, and per-phase summaries for campaigns.
 
 Every :class:`~repro.measurement.orchestrator.Orchestrator` owns a
 :class:`MetricsRegistry`; the BGP engine, the convergence cache, and
@@ -16,7 +16,9 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
+
+from repro.util.stats import percentile
 
 
 class Counter:
@@ -31,7 +33,8 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        with self._lock:
+            return self._value
 
     def increment(self, amount: int = 1) -> None:
         with self._lock:
@@ -51,11 +54,19 @@ class Timer:
 
     @property
     def total_seconds(self) -> float:
-        return self._total_s
+        with self._lock:
+            return self._total_s
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
+
+    def summary(self) -> Dict:
+        """Both accumulators read under one lock, so a snapshot taken
+        mid-update never pairs a new total with a stale count."""
+        with self._lock:
+            return {"total_seconds": self._total_s, "count": self._count}
 
     @contextmanager
     def time(self):
@@ -77,6 +88,65 @@ class Timer:
             self._count += count
 
 
+class Histogram:
+    """A named, thread-safe distribution of float observations.
+
+    Keeps every raw value (campaign cardinalities are small — one
+    observation per experiment or convergence run), so summaries can
+    report exact percentiles and worker deltas can ship the raw tail
+    of the value list.  Percentile math is order-independent, which is
+    what keeps summaries identical across executors even though thread
+    pools observe values in completion order.
+    """
+
+    __slots__ = ("name", "_values", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: List[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._values.append(float(value))
+
+    def add_values(self, values: Sequence[float]) -> None:
+        """Fold observations shipped from another registry."""
+        with self._lock:
+            self._values.extend(float(v) for v in values)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    def values(self) -> List[float]:
+        with self._lock:
+            return list(self._values)
+
+    def values_since(self, mark: int) -> List[float]:
+        """Observations recorded after ``mark`` (a prior :attr:`count`)."""
+        with self._lock:
+            return list(self._values[mark:])
+
+    def summary(self) -> Dict:
+        with self._lock:
+            values = list(self._values)
+        if not values:
+            return {"count": 0}
+        ordered = sorted(values)
+        return {
+            "count": len(ordered),
+            "sum": sum(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": sum(ordered) / len(ordered),
+            "p50": percentile(ordered, 50),
+            "p90": percentile(ordered, 90),
+            "p99": percentile(ordered, 99),
+        }
+
+
 @dataclass
 class PhaseRecord:
     """One completed campaign phase: wall time plus counter deltas."""
@@ -87,11 +157,13 @@ class PhaseRecord:
 
 
 class MetricsRegistry:
-    """Get-or-create registry of counters, timers, and phase records."""
+    """Get-or-create registry of counters, timers, histograms, and
+    phase records."""
 
     def __init__(self):
         self._counters: Dict[str, Counter] = {}
         self._timers: Dict[str, Timer] = {}
+        self._histograms: Dict[str, Histogram] = {}
         self._phases: List[PhaseRecord] = []
         self._lock = threading.Lock()
 
@@ -106,6 +178,12 @@ class MetricsRegistry:
             if name not in self._timers:
                 self._timers[name] = Timer(name)
             return self._timers[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name)
+            return self._histograms[name]
 
     @property
     def phases(self) -> List[PhaseRecord]:
@@ -135,15 +213,37 @@ class MetricsRegistry:
             with self._lock:
                 self._phases.append(PhaseRecord(name, wall, deltas))
 
-    def merge_deltas(self, counters: Dict[str, int], timers: Dict[str, Dict]) -> None:
+    def histogram_counts(self) -> Dict[str, int]:
+        """Observation counts per histogram — the marks a worker takes
+        before a task so it can ship only the new values after."""
+        with self._lock:
+            histograms = list(self._histograms.items())
+        return {name: h.count for name, h in histograms}
+
+    def histogram_values_since(self, marks: Dict[str, int]) -> Dict[str, List[float]]:
+        """Raw observations recorded after ``marks``
+        (a prior :meth:`histogram_counts`), dropping empty entries."""
+        with self._lock:
+            histograms = list(self._histograms.items())
+        deltas = {
+            name: h.values_since(marks.get(name, 0)) for name, h in histograms
+        }
+        return {name: values for name, values in deltas.items() if values}
+
+    def merge_deltas(
+        self,
+        counters: Dict[str, int],
+        timers: Dict[str, Dict],
+        histograms: Optional[Dict[str, List[float]]] = None,
+    ) -> None:
         """Fold another registry's movement into this one.
 
         Process-pool campaign workers record into their own registry;
-        the executor ships each task's counter and timer deltas back
-        and merges them here, so ``--stats`` reads the same regardless
-        of which pool (or none) ran the campaign.  Merging happens
-        inside the surrounding :meth:`phase`, so phase counter deltas
-        include worker activity too.
+        the executor ships each task's counter, timer, and histogram
+        deltas back and merges them here, so ``--stats`` reads the same
+        regardless of which pool (or none) ran the campaign.  Merging
+        happens inside the surrounding :meth:`phase`, so phase counter
+        deltas include worker activity too.
         """
         for name, delta in counters.items():
             if delta:
@@ -151,16 +251,23 @@ class MetricsRegistry:
         for name, t in timers.items():
             if t.get("count"):
                 self.timer(name).add(t.get("total_seconds", 0.0), t["count"])
+        for name, values in (histograms or {}).items():
+            if values:
+                self.histogram(name).add_values(values)
 
     # -- reporting ----------------------------------------------------------
 
     def snapshot(self) -> Dict:
         """A plain-dict view of everything recorded so far."""
+        with self._lock:
+            timers = list(self._timers.items())
+            histograms = list(self._histograms.items())
+            phases = list(self._phases)
         return {
             "counters": self._counter_values(),
-            "timers": {
-                name: {"total_seconds": t.total_seconds, "count": t.count}
-                for name, t in self._timers.items()
+            "timers": {name: t.summary() for name, t in timers},
+            "histograms": {
+                name: h.summary() for name, h in histograms if h.count
             },
             "phases": [
                 {
@@ -168,27 +275,6 @@ class MetricsRegistry:
                     "wall_seconds": p.wall_seconds,
                     "counter_deltas": dict(p.counter_deltas),
                 }
-                for p in self._phases
+                for p in phases
             ],
         }
-
-    def render(self) -> str:
-        """Human-readable summary (the CLI's ``--stats`` section)."""
-        snap = self.snapshot()
-        lines = ["campaign stats:"]
-        for name in sorted(snap["counters"]):
-            lines.append(f"  {name}: {snap['counters'][name]}")
-        for name in sorted(snap["timers"]):
-            t = snap["timers"][name]
-            lines.append(
-                f"  {name}: {t['total_seconds']:.3f}s over {t['count']} section(s)"
-            )
-        if snap["phases"]:
-            lines.append("  phases:")
-            for p in snap["phases"]:
-                deltas = ", ".join(
-                    f"{k}+{v}" for k, v in sorted(p["counter_deltas"].items())
-                )
-                suffix = f" ({deltas})" if deltas else ""
-                lines.append(f"    {p['name']}: {p['wall_seconds']:.3f}s{suffix}")
-        return "\n".join(lines)

@@ -22,10 +22,13 @@ policy for the simulated campaign:
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, TypeVar
 
+from repro.obs.log import get_logger
 from repro.runtime.metrics import MetricsRegistry
 from repro.util.errors import RetriesExhaustedError, TransientError
 
 T = TypeVar("T")
+
+logger = get_logger("retry")
 
 #: Metrics counter names used by the retry layer.
 RETRIES_COUNTER = "retries"
@@ -72,6 +75,7 @@ def run_with_retry(
     policy: RetryPolicy,
     metrics: Optional[MetricsRegistry] = None,
     description: str = "operation",
+    tracer=None,
 ) -> T:
     """Run ``fn(attempt)`` until it succeeds or the budget runs out.
 
@@ -80,20 +84,43 @@ def run_with_retry(
     :class:`~repro.util.errors.TransientError` triggers a retry; any
     other exception propagates immediately.  Backoff elapses in
     virtual time only (accounted into metrics, never slept).
+
+    When a :class:`~repro.obs.trace.Tracer` is supplied, each attempt
+    runs inside an ``attempt`` span (failed attempts record their
+    transient error), and retries and exhaustion are logged.
     """
     last_error: Optional[TransientError] = None
     for attempt in range(policy.max_attempts):
         try:
+            if tracer is not None:
+                with tracer.span("attempt", attempt=attempt):
+                    return fn(attempt)
             return fn(attempt)
         except TransientError as exc:
             last_error = exc
             if attempt + 1 >= policy.max_attempts:
                 break
+            backoff_ms = policy.backoff_ms(attempt)
             if metrics is not None:
                 metrics.counter(RETRIES_COUNTER).increment()
-                metrics.counter(BACKOFF_COUNTER).increment(
-                    int(policy.backoff_ms(attempt))
-                )
+                metrics.counter(BACKOFF_COUNTER).increment(int(backoff_ms))
+            logger.info(
+                "retrying after transient failure",
+                extra={"fields": {
+                    "description": description,
+                    "attempt": attempt,
+                    "backoff_virtual_ms": int(backoff_ms),
+                    "error": str(exc),
+                }},
+            )
+    logger.warning(
+        "retries exhausted",
+        extra={"fields": {
+            "description": description,
+            "max_attempts": policy.max_attempts,
+            "error": str(last_error),
+        }},
+    )
     raise RetriesExhaustedError(description, policy.max_attempts, last_error)
 
 
