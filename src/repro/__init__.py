@@ -25,6 +25,8 @@ Packages:
 - :mod:`repro.runtime` — campaign execution: pooled executors,
   convergence caching, noise settings, and metrics;
 - :mod:`repro.splpo` — the SPLPO optimization model and solvers;
+- :mod:`repro.audit` — prediction-integrity auditing and self-healing
+  re-measurement;
 - :mod:`repro.baselines` — the configurations AnyOpt is compared to.
 """
 
@@ -47,12 +49,24 @@ from repro.topology import (
     generate_internet,
 )
 
+# Imported after repro.core: the audit package reads the core model
+# types (and repro.io, which itself imports repro.core).
+from repro.audit import (
+    AuditReport,
+    AuditViolation,
+    RepairReport,
+    audit_model,
+    repair_model,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
     "AnyOpt",
     "AnyOptModel",
     "AnycastConfig",
+    "AuditReport",
+    "AuditViolation",
     "CampaignSettings",
     "CatchmentPredictor",
     "ConvergenceCache",
@@ -60,14 +74,17 @@ __all__ = [
     "MetricsRegistry",
     "Orchestrator",
     "PreferenceMatrix",
+    "RepairReport",
     "TargetSet",
     "Testbed",
     "TestbedParams",
     "TopologyParams",
     "__version__",
+    "audit_model",
     "build_paper_testbed",
     "build_total_order",
     "generate_internet",
     "make_executor",
+    "repair_model",
     "select_targets",
 ]

@@ -1,0 +1,221 @@
+"""Typed integrity findings, the audit report, and the violation error.
+
+Prediction is only sound when a client's usable pairwise preferences
+form a transitive total order (Theorems A.1/A.2, S4.2).  The audit
+layer sweeps the discovered model for everything that breaks that
+assumption and reports each break as a typed :class:`Finding`:
+
+- ``cycle`` — the client's tournament contains a directed 3-cycle; the
+  finding carries the intransitivity witness triple;
+- ``inconsistent`` — a pairwise cell where the later-announced site won
+  both runs (only multipath ECMP rehashing explains it, S4.2);
+- ``undecided`` — a cell whose pairwise experiment exhausted its
+  retries; the finding's detail names the final fault kind;
+- ``unmapped`` — a cell measured but with the client unmapped in at
+  least one run (:data:`PreferenceOutcome.UNKNOWN`);
+- ``unmeasured`` — a cell with no observation at all;
+- ``rtt-hole`` — a missing unicast RTT sample for an (site, client)
+  pair.
+
+A client is *quarantined* when its findings prevent a total order over
+the full announcement order — exactly the clients
+:meth:`AnyOptModel.total_order` cannot rank.  Quarantined clients are
+excluded from SPLPO input until repaired.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.errors import ReproError
+
+#: Finding kinds (the taxonomy above).
+CYCLE = "cycle"
+INCONSISTENT = "inconsistent"
+UNDECIDED = "undecided"
+UNMAPPED = "unmapped"
+UNMEASURED = "unmeasured"
+RTT_HOLE = "rtt-hole"
+
+#: Kinds that break total-order construction and therefore quarantine a
+#: client.  RTT holes quarantine only in RTT-heuristic site-level mode
+#: (where intra-provider ranking needs the sample); in pairwise mode
+#: they merely degrade RTT estimates.
+QUARANTINE_KINDS = frozenset({CYCLE, INCONSISTENT, UNDECIDED, UNMAPPED, UNMEASURED})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One integrity defect in one client's slice of the model.
+
+    ``scope`` locates the tournament: ``"provider"`` for the
+    provider-level matrix, ``"site:<asn>"`` for a provider's
+    intra-site matrix, ``"rtt"`` for RTT-matrix holes.  ``sites`` is
+    the offending cell pair, the cycle witness triple, or the single
+    site missing an RTT sample — in provider scope the entries are
+    provider ASNs.
+    """
+
+    kind: str
+    client_id: int
+    scope: str
+    sites: Tuple[int, ...]
+    detail: str = ""
+
+    @property
+    def sort_key(self):
+        return (self.client_id, self.scope, self.kind, self.sites)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "client_id": self.client_id,
+            "scope": self.scope,
+            "sites": list(self.sites),
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ClientAudit:
+    """All findings for one client, plus its quarantine verdict."""
+
+    client_id: int
+    findings: List[Finding] = field(default_factory=list)
+    quarantined: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "client_id": self.client_id,
+            "quarantined": self.quarantined,
+            "findings": [f.to_dict() for f in sorted(self.findings, key=lambda f: f.sort_key)],
+        }
+
+
+@dataclass(frozen=True)
+class CatchmentMismatch:
+    """One predicted-vs-measured disagreement from the cross-check."""
+
+    config_sites: Tuple[int, ...]
+    client_id: int
+    predicted_site: int
+    measured_site: int
+    explanation: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "config_sites": list(self.config_sites),
+            "client_id": self.client_id,
+            "predicted_site": self.predicted_site,
+            "measured_site": self.measured_site,
+            "explanation": self.explanation,
+        }
+
+
+@dataclass
+class CrossCheckReport:
+    """Result of the sampled ground-truth cross-check."""
+
+    configs: List[Tuple[int, ...]]
+    checked: int
+    correct: int
+    mismatches: List[CatchmentMismatch]
+    min_accuracy: float
+
+    @property
+    def accuracy(self) -> float:
+        # Vacuously accurate when nothing was checkable.
+        return self.correct / self.checked if self.checked else 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "configs": [list(c) for c in self.configs],
+            "checked": self.checked,
+            "correct": self.correct,
+            "accuracy": self.accuracy,
+            "min_accuracy": self.min_accuracy,
+            "mismatches": [m.to_dict() for m in self.mismatches],
+        }
+
+
+@dataclass
+class AuditReport:
+    """The rolled-up result of one integrity audit.
+
+    ``clients`` holds one :class:`ClientAudit` per client *with
+    findings*; clean clients are counted but carry no entry.
+    """
+
+    announce_order: Tuple[int, ...]
+    clients_total: int
+    predictable_clients: int
+    clients: Dict[int, ClientAudit] = field(default_factory=dict)
+    cross_check: Optional[CrossCheckReport] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.clients
+
+    def findings(self) -> List[Finding]:
+        out: List[Finding] = []
+        for client_id in sorted(self.clients):
+            out.extend(sorted(self.clients[client_id].findings, key=lambda f: f.sort_key))
+        return out
+
+    def quarantined_clients(self) -> List[int]:
+        return sorted(c for c, audit in self.clients.items() if audit.quarantined)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings():
+            counts[finding.kind] = counts.get(finding.kind, 0) + 1
+        return counts
+
+    def total_findings(self) -> int:
+        return sum(len(audit.findings) for audit in self.clients.values())
+
+    def to_dict(self) -> dict:
+        doc = {
+            "format": "anyopt-audit-report",
+            "version": 1,
+            "announce_order": list(self.announce_order),
+            "clients_total": self.clients_total,
+            "predictable_clients": self.predictable_clients,
+            "quarantined_clients": self.quarantined_clients(),
+            "counts_by_kind": {k: self.counts_by_kind()[k] for k in sorted(self.counts_by_kind())},
+            "clients": [self.clients[c].to_dict() for c in sorted(self.clients)],
+        }
+        if self.cross_check is not None:
+            doc["cross_check"] = self.cross_check.to_dict()
+        return doc
+
+
+class AuditViolation(ReproError):
+    """The ground-truth cross-check fell below its accuracy floor.
+
+    Carries the first offending mismatch, the measured accuracy, a
+    ``bgp.explain`` narration of why the simulator routed the client
+    where it did, and the :class:`AuditReport` (with its
+    ``cross_check`` attached) for programmatic consumers.
+    """
+
+    def __init__(
+        self,
+        mismatch: CatchmentMismatch,
+        accuracy: float,
+        min_accuracy: float,
+        report: Optional[AuditReport] = None,
+    ):
+        self.mismatch = mismatch
+        self.accuracy = accuracy
+        self.min_accuracy = min_accuracy
+        self.report = report
+        super().__init__(
+            f"cross-check accuracy {accuracy:.4f} below floor "
+            f"{min_accuracy:.4f}; e.g. client {mismatch.client_id} under "
+            f"config {tuple(mismatch.config_sites)}: predicted site "
+            f"{mismatch.predicted_site}, measured site {mismatch.measured_site}"
+        )
+
+    @property
+    def explanation(self) -> str:
+        return self.mismatch.explanation

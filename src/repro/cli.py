@@ -4,6 +4,7 @@ Chains the paper's workflow across invocations via JSON artifacts::
 
     anyopt build-testbed --seed 7 --out testbed.json
     anyopt discover --testbed testbed.json --out model.json
+    anyopt audit --testbed testbed.json --model model.json --repair --out model.json
     anyopt optimize --testbed testbed.json --model model.json --size 12
     anyopt evaluate --testbed testbed.json --model model.json --sites 1,4,6
     anyopt catchment --testbed testbed.json --sites 1,4,6 --chart
@@ -14,6 +15,7 @@ Also runnable as ``python -m repro ...``.
 """
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -27,7 +29,13 @@ from repro.measurement import select_targets
 from repro.obs.export import load_trace, write_prometheus, write_trace_jsonl
 from repro.obs.inspect import summarize_trace
 from repro.obs.log import LEVELS, configure_logging
-from repro.report import render_catchment_bars, render_cdf, render_metrics, render_table
+from repro.report import (
+    render_audit_report,
+    render_catchment_bars,
+    render_cdf,
+    render_metrics,
+    render_table,
+)
 from repro.runtime.settings import CampaignSettings
 from repro.splpo import available_strategies
 from repro.topology import TestbedParams, TopologyParams, build_paper_testbed
@@ -125,6 +133,17 @@ def cmd_discover(args) -> int:
         checkpoint_path=args.checkpoint,
         resume_from=resume_from,
     )
+    if args.audit or args.repair:
+        report = anyopt.audit(model)
+        print(render_audit_report(report))
+        if args.repair and not report.clean:
+            repaired = anyopt.repair(model, report=report, parallelism=args.parallelism)
+            print(
+                f"repair: {repaired.rounds} round(s), "
+                f"{repaired.experiments_used} experiment(s) re-run; "
+                f"{repaired.final_report.predictable_clients}/{len(anyopt.targets)} "
+                f"client(s) now predictable"
+            )
     save_model(model, args.out)
     if model.failures:
         # Counted from the model, not the metrics counters, so a
@@ -159,6 +178,64 @@ def cmd_discover(args) -> int:
         f"({100 * with_order / len(anyopt.targets):.1f}%)"
     )
     print(f"saved model to {args.out}")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    from repro.audit import AuditViolation
+
+    anyopt = _make_anyopt(args)
+    model = load_model(args.model, anyopt.testbed)
+    violation = None
+    try:
+        report = anyopt.audit(
+            model,
+            ground_truth_k=args.ground_truth,
+            min_accuracy=args.min_accuracy,
+        )
+    except AuditViolation as exc:
+        if exc.report is None:
+            raise
+        violation = exc
+        report = exc.report
+    print(render_audit_report(report))
+    repair_report = None
+    if args.repair and not report.clean:
+        repair_report = anyopt.repair(
+            model,
+            report=report,
+            max_rounds=args.max_rounds,
+            budget=args.repair_budget,
+            parallelism=args.parallelism,
+            checkpoint_path=args.checkpoint,
+            resume_from=args.checkpoint
+            if args.checkpoint and os.path.exists(args.checkpoint)
+            else None,
+        )
+        report = repair_report.final_report
+        print(
+            f"\nrepair: {repair_report.rounds} round(s), "
+            f"{repair_report.experiments_used} experiment(s) re-run"
+            + (" (budget exhausted)" if repair_report.budget_exhausted else "")
+        )
+        print()
+        print(render_audit_report(report))
+        if args.out:
+            save_model(model, args.out)
+            print(f"saved repaired model to {args.out}")
+    if args.report:
+        doc = report.to_dict()
+        if repair_report is not None:
+            doc["repair"] = repair_report.to_dict()
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"audit report written to {args.report}")
+    if violation is not None:
+        print(f"error: {violation}", file=sys.stderr)
+        if violation.explanation:
+            print(violation.explanation, file=sys.stderr)
+        return 3
     return 0
 
 
@@ -269,7 +346,7 @@ def cmd_stability(args) -> int:
     print(render_table(["epoch", "unchanged catchments", "mean RTT (ms)"], rows))
     verdict = (
         "re-measurement recommended"
-        if report.needs_remeasurement()
+        if report.remeasurement_recommended
         else "configuration still healthy"
     )
     print(f"verdict: {verdict}")
@@ -478,8 +555,86 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a checkpoint after each phase; if PATH exists, resume from it",
     )
+    p.add_argument(
+        "--audit",
+        action="store_true",
+        help="audit the discovered model for integrity findings before saving",
+    )
+    p.add_argument(
+        "--repair",
+        action="store_true",
+        help="after auditing, re-run the implicated experiments and save the "
+        "repaired model (implies --audit)",
+    )
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_discover)
+
+    p = sub.add_parser(
+        "audit",
+        parents=[stats, faults],
+        help="audit a saved model's prediction integrity; optionally self-heal it",
+    )
+    p.add_argument("--testbed", required=True)
+    p.add_argument("--model", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--ground-truth",
+        type=int,
+        default=0,
+        metavar="K",
+        help="deploy K seeded-random configurations and cross-check predicted "
+        "catchments against the simulator (0 disables the cross-check)",
+    )
+    p.add_argument(
+        "--min-accuracy",
+        type=_probability,
+        default=0.9,
+        help="cross-check accuracy floor; below it the audit exits 3",
+    )
+    p.add_argument(
+        "--repair",
+        action="store_true",
+        help="re-run only the implicated experiments until the findings clear "
+        "or the budget runs out",
+    )
+    p.add_argument(
+        "--max-rounds",
+        type=_positive_int,
+        default=3,
+        help="escalating repair rounds before giving up",
+    )
+    p.add_argument(
+        "--repair-budget",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="overall cap on re-run BGP experiments across all repair rounds",
+    )
+    p.add_argument(
+        "--parallelism",
+        type=_positive_int,
+        default=None,
+        help="repair workers (results are identical to serial)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a repair checkpoint after each round; if PATH exists, "
+        "resume from it",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="where to save the repaired model (with --repair)",
+    )
+    p.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the audit report (and repair transcript) as JSON to PATH",
+    )
+    p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("optimize", parents=[stats], help="offline configuration search")
     p.add_argument("--testbed", required=True)

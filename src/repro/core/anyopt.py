@@ -197,6 +197,95 @@ class AnyOpt:
             failures=list(self.orchestrator.failures[failures_before:]),
         )
 
+    # -- integrity ------------------------------------------------------------
+
+    def audit(
+        self,
+        model: AnyOptModel,
+        ground_truth_k: int = 0,
+        min_accuracy: float = 0.9,
+        announce_order: Optional[Sequence[int]] = None,
+    ):
+        """Audit ``model`` for prediction-integrity violations.
+
+        Sweeps every client's tournaments for cycles, INCONSISTENT,
+        UNDECIDED, and unmeasured cells plus RTT-matrix holes, and
+        marks the clients without a usable total order as quarantined.
+        With ``ground_truth_k > 0`` the audit additionally deploys
+        that many seeded-random configurations and cross-checks
+        predicted catchments against measured ones, raising
+        :class:`~repro.audit.findings.AuditViolation` (report
+        attached) when accuracy lands below ``min_accuracy``.
+        """
+        # Imported lazily: repro.audit imports repro.io for repair
+        # checkpoints, which imports repro.core — keep the cycle cut.
+        from repro.audit import audit_model, cross_check
+
+        report = audit_model(
+            model,
+            self.targets,
+            announce_order=announce_order,
+            failures=model.failures or self.orchestrator.failures,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+        if ground_truth_k > 0:
+            cross_check(
+                self.orchestrator,
+                model,
+                self.targets,
+                k=ground_truth_k,
+                seed=self.seed,
+                min_accuracy=min_accuracy,
+                quarantined=frozenset(report.quarantined_clients()),
+                audit_report=report,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+        return report
+
+    def repair(
+        self,
+        model: AnyOptModel,
+        report=None,
+        max_rounds: int = 3,
+        budget: Optional[int] = None,
+        parallelism: Optional[int] = None,
+        checkpoint_path=None,
+        resume_from=None,
+        announce_order: Optional[Sequence[int]] = None,
+    ):
+        """Self-heal ``model`` (mutated in place) by re-running only
+        the experiments implicated in audit findings.
+
+        Runs up to ``max_rounds`` escalating repair rounds under an
+        optional overall experiment ``budget``; same seed ⇒ same
+        repair transcript on any executor.  ``checkpoint_path`` /
+        ``resume_from`` give repair the discovery campaign's
+        kill-and-resume contract.
+        """
+        from repro.audit import repair_model
+
+        executor = make_executor(
+            self.settings.parallelism if parallelism is None else parallelism,
+            kind=self.settings.executor,
+        )
+        try:
+            return repair_model(
+                self.orchestrator,
+                model,
+                self.targets,
+                report=report,
+                announce_order=announce_order,
+                max_rounds=max_rounds,
+                budget=budget,
+                executor=executor,
+                checkpoint_path=checkpoint_path,
+                resume_from=resume_from,
+            )
+        finally:
+            executor.close()
+
     # -- offline computation ---------------------------------------------------
 
     def optimize(
@@ -205,9 +294,20 @@ class AnyOpt:
         strategy: str = "exhaustive",
         sizes: Optional[Iterable[int]] = None,
         max_evaluations: Optional[int] = None,
+        audit_report=None,
+        exclude_clients: Optional[Iterable[int]] = None,
         **solver_kwargs,
     ) -> OptimizationReport:
-        """Search configurations offline (S4.5 step 3)."""
+        """Search configurations offline (S4.5 step 3).
+
+        ``audit_report`` (or an explicit ``exclude_clients``) keeps
+        quarantined clients out of the SPLPO input; the exclusion is
+        accounted in the ``splpo_clients_excluded`` counter so
+        ``--stats`` can show what the audit removed.
+        """
+        excluded = set(exclude_clients) if exclude_clients is not None else set()
+        if audit_report is not None:
+            excluded.update(audit_report.quarantined_clients())
         return search_configurations(
             model.twolevel,
             model.rtt_matrix,
@@ -216,6 +316,8 @@ class AnyOpt:
             sizes=sizes,
             max_evaluations=max_evaluations,
             seed=self.seed,
+            exclude_clients=excluded if excluded else None,
+            metrics=self.metrics,
             **solver_kwargs,
         )
 

@@ -131,6 +131,8 @@ def search_configurations(
     max_evaluations: Optional[int] = None,
     capacities: Optional[Dict[int, float]] = None,
     seed=0,
+    exclude_clients: Optional[Iterable[int]] = None,
+    metrics=None,
     **solver_kwargs,
 ) -> OptimizationReport:
     """Find the lowest-predicted-latency configuration.
@@ -146,9 +148,21 @@ def search_configurations(
         max_evaluations: evaluation budget (the paper's time bound).
         capacities: optional per-site load caps (Appendix B); subsets
             that would overload a site are skipped as infeasible.
+        exclude_clients: client ids the audit quarantined; they are
+            dropped from the SPLPO input up front (the accounting goes
+            to the ``splpo_clients_excluded`` counter when ``metrics``
+            is given).
     """
     solver = get_solver(strategy)
     targets = list(targets)
+    if exclude_clients is not None:
+        excluded_set = set(exclude_clients)
+        kept = [t for t in targets if t.target_id not in excluded_set]
+        if metrics is not None:
+            metrics.counter("splpo_clients_excluded").increment(
+                len(targets) - len(kept)
+            )
+        targets = kept
     if sites is None:
         sites = model.testbed.site_ids()
     sites = list(sites)

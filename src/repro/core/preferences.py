@@ -210,3 +210,41 @@ def build_total_order(
     if sorted(wins.values()) != list(range(len(items))):
         return TotalOrderResult(client_id, None, reason="cyclic preferences")
     return TotalOrderResult(client_id, tuple(ordered))
+
+
+def find_cycle_witness(
+    matrix: PreferenceMatrix,
+    client_id: int,
+    items: Sequence[int],
+    announce_order: Sequence[int],
+) -> Optional[Tuple[int, int, int]]:
+    """The first intransitivity witness in a client's tournament.
+
+    A tournament is intransitive exactly when it contains a directed
+    3-cycle, so the witness is a triple ``(a, b, c)`` whose three
+    pairwise games have three distinct winners (each item beats exactly
+    one of the other two).  Triples are scanned in ``items`` order, so
+    the witness is deterministic.  Returns None when any pair lacks an
+    effective winner (those cells are reported separately) or the
+    tournament is transitive.
+    """
+    items = list(items)
+    if len(items) < 3:
+        return None
+    position = {site: idx for idx, site in enumerate(announce_order)}
+    winners: Dict[Tuple[int, int], int] = {}
+    for i, a in enumerate(items):
+        for b in items[i + 1:]:
+            first = a if position[a] < position[b] else b
+            winner = matrix.winner(client_id, a, b, first)
+            if winner is None:
+                return None
+            winners[(a, b)] = winner
+    for i, a in enumerate(items):
+        for j in range(i + 1, len(items)):
+            for k in range(j + 1, len(items)):
+                b, c = items[j], items[k]
+                trio = {winners[(a, b)], winners[(b, c)], winners[(a, c)]}
+                if len(trio) == 3:
+                    return (a, b, c)
+    return None

@@ -16,7 +16,10 @@ from typing import List, Optional
 from repro.core.config import AnycastConfig
 from repro.measurement.orchestrator import Orchestrator
 from repro.measurement.verfploeter import CatchmentMap
+from repro.obs.log import get_logger
 from repro.util.errors import ConfigurationError, MeasurementError
+
+logger = get_logger("stability")
 
 
 @dataclass(frozen=True)
@@ -31,10 +34,17 @@ class StabilitySnapshot:
 
 @dataclass
 class StabilityReport:
-    """Outcome of a multi-epoch stability study."""
+    """Outcome of a multi-epoch stability study.
+
+    The drift tolerances the study ran under are part of the report,
+    so :attr:`remeasurement_recommended` is the study's actionable
+    verdict rather than a question every caller answers differently.
+    """
 
     config: AnycastConfig
     snapshots: List[StabilitySnapshot]
+    catchment_threshold: float = 0.90
+    rtt_threshold_fraction: float = 0.10
 
     @property
     def baseline(self) -> StabilitySnapshot:
@@ -57,16 +67,26 @@ class StabilityReport:
 
     def needs_remeasurement(
         self,
-        catchment_threshold: float = 0.90,
-        rtt_threshold_fraction: float = 0.10,
+        catchment_threshold: Optional[float] = None,
+        rtt_threshold_fraction: Optional[float] = None,
     ) -> bool:
         """True when drift exceeded either tolerance: catchments moved
         for more than ``1 - catchment_threshold`` of targets, or the
         mean RTT swung by more than ``rtt_threshold_fraction`` of the
-        baseline."""
+        baseline.  The tolerances default to the ones the study ran
+        under."""
+        if catchment_threshold is None:
+            catchment_threshold = self.catchment_threshold
+        if rtt_threshold_fraction is None:
+            rtt_threshold_fraction = self.rtt_threshold_fraction
         if self.min_unchanged_fraction() < catchment_threshold:
             return True
         return self.rtt_spread_ms() > rtt_threshold_fraction * self.baseline.mean_rtt_ms
+
+    @property
+    def remeasurement_recommended(self) -> bool:
+        """The study's verdict under its own thresholds."""
+        return self.needs_remeasurement()
 
 
 def _unchanged_fraction(base: CatchmentMap, current: CatchmentMap) -> float:
@@ -87,13 +107,18 @@ def run_stability_study(
     orchestrator: Orchestrator,
     config: AnycastConfig,
     epochs: int = 3,
+    catchment_threshold: float = 0.90,
+    rtt_threshold_fraction: float = 0.10,
 ) -> StabilityReport:
     """Deploy ``config`` once as a baseline and re-measure it for
     ``epochs`` further epochs.
 
     Each epoch consumes one BGP experiment; the simulator's
     inter-experiment churn plays the role of a week of real-world
-    routing drift.
+    routing drift.  The drift tolerances become part of the report,
+    and crossing either one emits a ``repro.stability`` event so the
+    recommendation shows up in operational logs, not only in callers
+    that remember to ask.
     """
     if epochs < 1:
         raise ConfigurationError("need at least one follow-up epoch")
@@ -129,4 +154,27 @@ def run_stability_study(
                 unchanged_fraction=_unchanged_fraction(baseline_map, cmap),
             )
         )
-    return StabilityReport(config=config, snapshots=snapshots)
+    report = StabilityReport(
+        config=config,
+        snapshots=snapshots,
+        catchment_threshold=catchment_threshold,
+        rtt_threshold_fraction=rtt_threshold_fraction,
+    )
+    fields = {
+        "sites": ",".join(str(s) for s in config.site_order),
+        "epochs": epochs,
+        "min_unchanged_fraction": round(report.min_unchanged_fraction(), 4),
+        "rtt_spread_ms": round(report.rtt_spread_ms(), 3),
+        "catchment_threshold": catchment_threshold,
+        "rtt_threshold_fraction": rtt_threshold_fraction,
+    }
+    if report.remeasurement_recommended:
+        logger.warning(
+            "drift exceeded tolerance; re-measurement recommended",
+            extra={"fields": fields},
+        )
+    else:
+        logger.info(
+            "configuration stable within tolerance", extra={"fields": fields}
+        )
+    return report

@@ -20,10 +20,15 @@ campaign can be split across processes (and so the CLI can chain
 from repro.io.cachestore import ConvergenceStore, topology_fingerprint
 from repro.io.checkpoint import (
     DiscoveryProgress,
+    RepairProgress,
     load_checkpoint,
+    load_repair_checkpoint,
     progress_from_dict,
     progress_to_dict,
+    repair_progress_from_dict,
+    repair_progress_to_dict,
     save_checkpoint,
+    save_repair_checkpoint,
 )
 from repro.io.serialization import (
     load_model,
@@ -39,15 +44,20 @@ from repro.io.serialization import (
 __all__ = [
     "ConvergenceStore",
     "DiscoveryProgress",
+    "RepairProgress",
     "load_checkpoint",
     "load_model",
+    "load_repair_checkpoint",
     "load_testbed",
     "model_from_dict",
     "model_to_dict",
     "progress_from_dict",
     "progress_to_dict",
+    "repair_progress_from_dict",
+    "repair_progress_to_dict",
     "save_checkpoint",
     "save_model",
+    "save_repair_checkpoint",
     "save_testbed",
     "testbed_from_dict",
     "testbed_to_dict",

@@ -160,3 +160,179 @@ def load_checkpoint(
             f"cannot resume in mode {site_level_mode.value!r}"
         )
     return progress
+
+
+# -- repair checkpoints -------------------------------------------------------
+
+REPAIR_CHECKPOINT_FORMAT = "anyopt-repair-checkpoint"
+
+
+@dataclass
+class RepairProgress:
+    """Resumable state of a self-healing repair loop.
+
+    Saved after every completed repair round.  ``model_fingerprint``
+    pins the *pre-repair* model the loop started from: resuming
+    against any other model would re-measure different cells and
+    silently diverge.  The matrices hold the model's *current* (partly
+    repaired) state; replaying them into a fresh copy of the
+    fingerprinted model restores the exact mid-repair state, because
+    repair only overwrites cells — it never deletes them.
+    """
+
+    seed: int
+    settings: CampaignSettings
+    announce_order: tuple
+    max_rounds: int
+    budget: Optional[int]
+    escalate_attempts: int
+    model_fingerprint: str
+    experiment_count: int = 0
+    experiments_used: int = 0
+    rounds_completed: int = 0
+    budget_exhausted: bool = False
+    transcript: List[Dict] = field(default_factory=list)
+    rtt_matrix: Optional[RttMatrix] = None
+    provider_matrix: Optional[PreferenceMatrix] = None
+    site_matrices: Dict[int, PreferenceMatrix] = field(default_factory=dict)
+    failures: List[FailedExperiment] = field(default_factory=list)
+
+
+def repair_progress_to_dict(progress: RepairProgress) -> Dict:
+    """Serialize a repair checkpoint to a JSON-compatible dict."""
+    rtt_rows = None
+    if progress.rtt_matrix is not None:
+        rtt_rows = [
+            [site, target, value]
+            for (site, target), value in sorted(progress.rtt_matrix.values.items())
+        ]
+    return {
+        "format": REPAIR_CHECKPOINT_FORMAT,
+        "version": FORMAT_VERSION,
+        "seed": progress.seed,
+        "settings": dataclasses.asdict(progress.settings),
+        "announce_order": list(progress.announce_order),
+        "max_rounds": progress.max_rounds,
+        "budget": progress.budget,
+        "escalate_attempts": progress.escalate_attempts,
+        "model_fingerprint": progress.model_fingerprint,
+        "experiment_count": progress.experiment_count,
+        "experiments_used": progress.experiments_used,
+        "rounds_completed": progress.rounds_completed,
+        "budget_exhausted": progress.budget_exhausted,
+        "transcript": progress.transcript,
+        "rtt_matrix": rtt_rows,
+        "provider_matrix": (
+            matrix_to_list(progress.provider_matrix)
+            if progress.provider_matrix is not None
+            else None
+        ),
+        "site_matrices": {
+            str(provider): matrix_to_list(matrix)
+            for provider, matrix in sorted(progress.site_matrices.items())
+        },
+        "failures": [f.to_dict() for f in progress.failures],
+    }
+
+
+def repair_progress_from_dict(raw: Dict) -> RepairProgress:
+    """Rebuild a repair checkpoint saved by
+    :func:`repair_progress_to_dict`, validating format and version."""
+    if raw.get("format") != REPAIR_CHECKPOINT_FORMAT:
+        raise ReproError(
+            f"expected a {REPAIR_CHECKPOINT_FORMAT!r} document, "
+            f"got {raw.get('format')!r}"
+        )
+    if raw.get("version") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported {REPAIR_CHECKPOINT_FORMAT} version "
+            f"{raw.get('version')!r}; this library reads version {FORMAT_VERSION}"
+        )
+    rtt_matrix = None
+    if raw["rtt_matrix"] is not None:
+        rtt_matrix = RttMatrix()
+        for site, target, value in raw["rtt_matrix"]:
+            rtt_matrix.set(site, target, value)
+    return RepairProgress(
+        seed=raw["seed"],
+        settings=CampaignSettings(**raw["settings"]),
+        announce_order=tuple(raw["announce_order"]),
+        max_rounds=raw["max_rounds"],
+        budget=raw["budget"],
+        escalate_attempts=raw["escalate_attempts"],
+        model_fingerprint=raw["model_fingerprint"],
+        experiment_count=raw["experiment_count"],
+        experiments_used=raw["experiments_used"],
+        rounds_completed=raw["rounds_completed"],
+        budget_exhausted=raw["budget_exhausted"],
+        transcript=raw["transcript"],
+        rtt_matrix=rtt_matrix,
+        provider_matrix=(
+            matrix_from_list(raw["provider_matrix"])
+            if raw["provider_matrix"] is not None
+            else None
+        ),
+        site_matrices={
+            int(p): matrix_from_list(m) for p, m in raw["site_matrices"].items()
+        },
+        failures=[FailedExperiment.from_dict(f) for f in raw["failures"]],
+    )
+
+
+def save_repair_checkpoint(progress: RepairProgress, path) -> None:
+    """Atomically write a repair checkpoint (tmp file + rename)."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(repair_progress_to_dict(progress)))
+    os.replace(tmp, path)
+
+
+def load_repair_checkpoint(
+    path,
+    seed: int,
+    settings: CampaignSettings,
+    announce_order,
+    max_rounds: int,
+    budget: Optional[int],
+    escalate_attempts: int,
+    model_fingerprint: str,
+) -> RepairProgress:
+    """Load a repair checkpoint and verify it matches the resuming loop.
+
+    Every parameter that shapes the repair transcript — seed, settings,
+    announcement order, round/budget/escalation knobs, and the
+    fingerprint of the pre-repair model — must match, or the resumed
+    transcript would diverge from the uninterrupted one.
+    """
+    progress = repair_progress_from_dict(json.loads(Path(path).read_text()))
+    if progress.seed != seed:
+        raise ConfigurationError(
+            f"repair checkpoint was taken with seed {progress.seed}, "
+            f"cannot resume a repair with seed {seed}"
+        )
+    if progress.settings != settings:
+        raise ConfigurationError(
+            "repair checkpoint was taken under different campaign settings; "
+            "resume with the settings it was created with"
+        )
+    if progress.announce_order != tuple(announce_order):
+        raise ConfigurationError(
+            "repair checkpoint used a different announcement order"
+        )
+    if (
+        progress.max_rounds != max_rounds
+        or progress.budget != budget
+        or progress.escalate_attempts != escalate_attempts
+    ):
+        raise ConfigurationError(
+            "repair checkpoint was taken with different repair knobs "
+            "(max_rounds/budget/escalate_attempts); resume with the "
+            "knobs it was created with"
+        )
+    if progress.model_fingerprint != model_fingerprint:
+        raise ConfigurationError(
+            "repair checkpoint does not belong to this model (the "
+            "pre-repair model fingerprint differs); resume against the "
+            "model the repair started from"
+        )
+    return progress

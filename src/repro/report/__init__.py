@@ -7,10 +7,12 @@ any plotting dependency:
 - :func:`render_cdf` — an ASCII CDF plot of a sample;
 - :func:`render_histogram` — a horizontal bar histogram;
 - :func:`render_catchment_bars` — per-site catchment share bars;
-- :func:`render_metrics` — campaign counters, timers, and phases.
+- :func:`render_metrics` — campaign counters, timers, and phases;
+- :func:`render_audit_report` — integrity-audit findings and quarantine.
 """
 
 from repro.report.text import (
+    render_audit_report,
     render_catchment_bars,
     render_cdf,
     render_histogram,
@@ -19,6 +21,7 @@ from repro.report.text import (
 )
 
 __all__ = [
+    "render_audit_report",
     "render_catchment_bars",
     "render_cdf",
     "render_histogram",

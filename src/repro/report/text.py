@@ -132,6 +132,15 @@ def render_metrics(snapshot: Dict) -> str:
     if lookups:
         hit_rate = counters.get("convergence_cache_hits", 0) / lookups
         rows.append(["convergence_cache_hit_rate", f"{hit_rate:.1%}"])
+    if "audit_clients_quarantined" in counters:
+        # The audit accounting row: how many quarantined clients the
+        # optimizer actually dropped from its SPLPO input.
+        rows.append(
+            [
+                "quarantined_excluded_from_splpo",
+                str(counters.get("splpo_clients_excluded", 0)),
+            ]
+        )
     rows.extend(
         [
             name,
@@ -178,6 +187,40 @@ def render_metrics(snapshot: Dict) -> str:
             render_table(
                 ["phase", "wall (s)", "experiments", "cache hits"], phase_rows
             )
+        )
+    return "\n\n".join(sections)
+
+
+def render_audit_report(report) -> str:
+    """Render an :class:`~repro.audit.findings.AuditReport` as text:
+    a headline, a findings-by-kind table, the quarantine accounting,
+    and (when present) the ground-truth cross-check outcome."""
+    quarantined = report.quarantined_clients()
+    sections: List[str] = [
+        f"audit: {report.total_findings()} finding(s) across "
+        f"{len(report.clients)} of {report.clients_total} client(s); "
+        f"{report.predictable_clients} predictable, "
+        f"{len(quarantined)} quarantined (excluded from SPLPO input)"
+    ]
+    counts = report.counts_by_kind()
+    if counts:
+        sections.append(
+            render_table(
+                ["finding", "count"],
+                [[kind, str(counts[kind])] for kind in sorted(counts)],
+            )
+        )
+    if quarantined:
+        shown = ", ".join(str(c) for c in quarantined[:20])
+        suffix = ", ..." if len(quarantined) > 20 else ""
+        sections.append(f"quarantined clients: {shown}{suffix}")
+    if report.cross_check is not None:
+        check = report.cross_check
+        sections.append(
+            f"cross-check: {len(check.configs)} config(s), "
+            f"{check.checked} prediction(s) checked, "
+            f"{len(check.mismatches)} mismatch(es), "
+            f"accuracy {check.accuracy:.1%} (floor {check.min_accuracy:.1%})"
         )
     return "\n\n".join(sections)
 

@@ -39,17 +39,25 @@ logger = get_logger("faults")
 class AnnouncementFailureError(TransientError):
     """A BGP announcement was not accepted by the testbed."""
 
+    fault_kind = "announcement"
+
 
 class ConvergenceTimeoutError(TransientError):
     """The control plane failed to converge within the experiment window."""
+
+    fault_kind = "convergence-timeout"
 
 
 class ProbeBlackoutError(TransientError):
     """Every probe of a measurement session was lost."""
 
+    fault_kind = "probe-blackout"
+
 
 class SessionResetError(TransientError):
     """The orchestrator's session to the testbed dropped."""
+
+    fault_kind = "session-reset"
 
 
 #: Fault kind -> (settings field, raised error class).

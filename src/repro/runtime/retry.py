@@ -135,6 +135,11 @@ class FailedExperiment:
         experiment_ids: the reserved ids the experiment consumed.
         error: the final error message.
         attempts: how many attempts were made before giving up.
+        fault: the final attempt's fault kind (``"announcement"``,
+            ``"convergence-timeout"``, ``"probe-blackout"``,
+            ``"session-reset"``), or None when the last error carried
+            no fault identity.  Lets the auditor distinguish a
+            blackout cell from a timeout cell.
     """
 
     kind: str
@@ -142,6 +147,7 @@ class FailedExperiment:
     experiment_ids: Tuple[int, ...]
     error: str
     attempts: int
+    fault: Optional[str] = None
 
     @classmethod
     def from_error(
@@ -154,6 +160,7 @@ class FailedExperiment:
             experiment_ids=tuple(experiment_ids),
             error=str(exc),
             attempts=getattr(exc, "attempts", 1),
+            fault=getattr(exc, "fault_kind", None),
         )
 
     def to_dict(self) -> dict:
@@ -163,6 +170,7 @@ class FailedExperiment:
             "experiment_ids": list(self.experiment_ids),
             "error": self.error,
             "attempts": self.attempts,
+            "fault": self.fault,
         }
 
     @classmethod
@@ -173,4 +181,6 @@ class FailedExperiment:
             experiment_ids=tuple(raw["experiment_ids"]),
             error=raw["error"],
             attempts=raw["attempts"],
+            # Pre-audit checkpoints have no fault column.
+            fault=raw.get("fault"),
         )

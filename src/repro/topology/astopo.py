@@ -305,12 +305,22 @@ class ASGraph:
         - the tier-1 ASes form a full peering clique (the paper's
           assumption (a) in S4.1).
         """
-        tier1 = self.tier1_asns()
         for asn, node in self._ases.items():
             if node.tier == 1 and self.providers(asn):
                 raise TopologyError(f"tier-1 AS {asn} has a provider")
             if node.tier != 1 and not self.providers(asn):
                 raise TopologyError(f"non-tier-1 AS {asn} has no provider")
+        self.validate_tier1_clique()
+
+    def validate_tier1_clique(self) -> None:
+        """Check the paper's assumption (a) in S4.1 — every pair of
+        tier-1 ASes peers — naming the first offending pair.
+
+        AnyOpt's prediction theorems lean on this clique, so testbed
+        construction calls it up front rather than letting a broken
+        topology surface as a mispredicted catchment mid-campaign.
+        """
+        tier1 = self.tier1_asns()
         for i, a in enumerate(tier1):
             for b in tier1[i + 1:]:
                 if not self.has_link(a, b) or self.rel(a, b) is not Relationship.PEER:

@@ -90,6 +90,10 @@ class Testbed:
         peer_links: Dict[int, PeeringLink],
         params: TestbedParams,
     ):
+        # Prediction (Theorems A.1/A.2) assumes the tier-1 peering
+        # clique; fail at construction time, naming the offending AS
+        # pair, instead of surfacing as a mispredicted catchment later.
+        internet.graph.validate_tier1_clique()
         self.internet = internet
         self.sites = sites
         self.peer_links = peer_links

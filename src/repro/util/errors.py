@@ -46,7 +46,13 @@ class TransientError(MeasurementError):
     orchestrator-session resets.  :func:`repro.runtime.retry.run_with_retry`
     retries these with exponential backoff (in virtual time); anything
     else propagates immediately.
+
+    ``fault_kind`` identifies which injected failure mode a subclass
+    models (the :data:`repro.runtime.faults.FAULT_KINDS` vocabulary);
+    None for transient errors with no fault identity.
     """
+
+    fault_kind = None
 
 
 class RetriesExhaustedError(MeasurementError):
@@ -66,3 +72,9 @@ class RetriesExhaustedError(MeasurementError):
         super().__init__(
             f"{description} failed after {attempts} attempt(s){detail}"
         )
+
+    @property
+    def fault_kind(self):
+        """The final attempt's fault kind (e.g. ``"probe-blackout"``),
+        or None when the last error carried no fault identity."""
+        return getattr(self.last_error, "fault_kind", None)

@@ -145,6 +145,37 @@ class TestASGraph:
         with pytest.raises(TopologyError):
             g.validate()
 
+    def test_broken_clique_error_names_the_pair(self):
+        g = tiny_graph()
+        g.add_as(make_as(40, tier=1))  # never peered with 10 or 20
+        g.add_provider(30, 40)
+        with pytest.raises(TopologyError) as excinfo:
+            g.validate_tier1_clique()
+        message = str(excinfo.value)
+        assert "tier-1 clique assumption is violated" in message
+        assert "10 and 40" in message
+
+    def test_tier1_transit_is_not_peering(self):
+        # A customer/provider link between two tier-1s still breaks
+        # the clique: the relationship must be settlement-free peering.
+        g = ASGraph()
+        g.add_as(make_as(1, tier=1))
+        g.add_as(make_as(2, tier=1))
+        g.add_link(1, 2, Relationship.PROVIDER)
+        with pytest.raises(TopologyError, match="1 and 2"):
+            g.validate_tier1_clique()
+
+    def test_testbed_construction_enforces_tier1_clique(self):
+        from repro.topology.generator import Internet, TopologyParams
+        from repro.topology.testbed import Testbed, TestbedParams
+
+        g = tiny_graph()
+        g.add_as(make_as(40, tier=1))  # breaks the clique
+        g.add_provider(30, 40)
+        internet = Internet(g, {}, TopologyParams(), seed=0)
+        with pytest.raises(TopologyError, match="tier-1 clique assumption"):
+            Testbed(internet, {}, {}, TestbedParams())
+
     def test_link_lookup(self):
         g = tiny_graph()
         link = g.link(30, 10)

@@ -202,6 +202,9 @@ class TestDegradation:
         for failure in orch.failures:
             assert failure.kind == "pairwise"
             assert failure.attempts == 2
+            # Exhaustion accounting: the record names the final fault
+            # kind, so the audit can say *why* a cell is UNDECIDED.
+            assert failure.fault == "announcement"
         client = targets[0].target_id
         obs = matrix.observation(client, sites[0], sites[1])
         assert obs.outcome() is PreferenceOutcome.UNDECIDED
@@ -250,8 +253,36 @@ class TestDegradation:
             experiment_ids=(7, 8),
             error="deployment of experiment 7 failed after 2 attempt(s)",
             attempts=2,
+            fault="announcement",
         )
         assert FailedExperiment.from_dict(failure.to_dict()) == failure
+
+    def test_failed_experiment_legacy_dict_has_no_fault(self):
+        raw = {
+            "kind": "pairwise",
+            "subject": "pair (2, 5)",
+            "experiment_ids": [7, 8],
+            "error": "gone",
+            "attempts": 2,
+        }
+        assert FailedExperiment.from_dict(raw).fault is None
+
+    def test_retries_exhausted_error_carries_fault_kind(self):
+        from repro.runtime.faults import AnnouncementFailureError
+
+        def always_fails(attempt):
+            raise AnnouncementFailureError("announcement lost")
+
+        with pytest.raises(RetriesExhaustedError) as err:
+            run_with_retry(always_fails, RetryPolicy(max_attempts=2))
+        assert err.value.fault_kind == "announcement"
+        # A plain transient has no fault taxonomy entry.
+        with pytest.raises(RetriesExhaustedError) as err:
+            run_with_retry(
+                lambda attempt: (_ for _ in ()).throw(TransientError("x")),
+                RetryPolicy(max_attempts=2),
+            )
+        assert err.value.fault_kind is None
 
 
 # --- empty measurements -----------------------------------------------------

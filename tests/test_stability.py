@@ -88,3 +88,60 @@ class TestReport:
         )
         with pytest.raises(ConfigurationError):
             report.min_unchanged_fraction()
+
+    def test_property_uses_study_thresholds(self):
+        drifted = self.make([0.80], [100, 100])
+        assert drifted.remeasurement_recommended
+        # The same drift is tolerable when the study ran with a looser
+        # catchment threshold baked into the report.
+        lenient = StabilityReport(
+            config=CONFIG,
+            snapshots=drifted.snapshots,
+            catchment_threshold=0.75,
+        )
+        assert not lenient.remeasurement_recommended
+
+
+class TestStabilityEvent:
+    @pytest.fixture(autouse=True)
+    def _reset_repro_logging(self):
+        """CLI tests call configure_logging, which installs a handler on
+        the ``repro`` logger and stops propagation — undo that here so
+        caplog (attached at the root logger) sees the events."""
+        import logging
+
+        root = logging.getLogger("repro")
+        handlers = list(root.handlers)
+        propagate = root.propagate
+        for handler in handlers:
+            root.removeHandler(handler)
+        root.propagate = True
+        yield
+        for handler in handlers:
+            root.addHandler(handler)
+        root.propagate = propagate
+
+    def test_drift_logs_warning(self, testbed, targets, caplog):
+        orch = Orchestrator(
+            testbed, targets, seed=3,
+            settings=CampaignSettings(
+                session_churn_prob=0.6, rtt_drift_sigma=0.0, rtt_bias_sigma=0.0
+            ),
+        )
+        with caplog.at_level("INFO", logger="repro.stability"):
+            report = run_stability_study(
+                orch, CONFIG, epochs=2, catchment_threshold=0.97
+            )
+        assert report.remeasurement_recommended
+        records = [r for r in caplog.records if r.name == "repro.stability"]
+        assert len(records) == 1
+        assert records[0].levelname == "WARNING"
+        assert "re-measurement recommended" in records[0].getMessage()
+        assert records[0].fields["catchment_threshold"] == 0.97
+
+    def test_stable_logs_info(self, clean_orchestrator, caplog):
+        with caplog.at_level("INFO", logger="repro.stability"):
+            run_stability_study(clean_orchestrator, CONFIG, epochs=1)
+        records = [r for r in caplog.records if r.name == "repro.stability"]
+        assert len(records) == 1
+        assert records[0].levelname == "INFO"
