@@ -35,13 +35,13 @@ def test_ablation_rtt_heuristic(benchmark, bench_anyopt, bench_model, bench_test
             ("rtt-heuristic", heuristic_predictor),
         ):
             correct = counted = 0
-            for t in bench_targets:
+            batch = predictor.predict(config, bench_targets)
+            for t, prediction in zip(bench_targets, batch):
                 outcome = deployment.forwarding(t)
-                predicted = predictor.predict_catchment(t.target_id, config)
-                if outcome is None or predicted is None:
+                if outcome is None or prediction.site is None:
                     continue
                 counted += 1
-                correct += predicted == outcome.site_id
+                correct += prediction.site == outcome.site_id
             accs[label].append(correct / counted)
 
     # Experiment budgets: the heuristic drops all site-level pairs.

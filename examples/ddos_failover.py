@@ -45,14 +45,14 @@ def main() -> None:
     victim = max(base_map.catchment_sizes().items(), key=lambda kv: kv[1])[0]
     print(f"\n== Site {victim} is under attack; predicting failover ==")
     survivors = tuple(s for s in config.site_order if s != victim)
+    failover = model.predictor.predict(
+        AnycastConfig(site_order=survivors), targets
+    ).sites()
     predicted = Counter()
     for t in targets:
         if base_map.site_of(t.target_id) != victim:
             continue
-        site = model.predictor.predict_catchment(
-            t.target_id, AnycastConfig(site_order=survivors)
-        )
-        predicted[site] += 1
+        predicted[failover[t.target_id]] += 1
     print("   predicted destinations of the victim's clients:")
     for site, count in predicted.most_common():
         print(f"     site {site}: {count}")
@@ -79,9 +79,7 @@ def main() -> None:
         if outcome is None:
             continue
         measured[outcome.site_id] += 1
-        site = model.predictor.predict_catchment(
-            t.target_id, AnycastConfig(site_order=survivors)
-        )
+        site = failover[t.target_id]
         if site is not None:
             total += 1
             correct += site == outcome.site_id

@@ -47,14 +47,12 @@ def main() -> None:
     for name, config in CANDIDATES.items():
         rtts = []
         split = Counter()
-        for t in targets:
-            site = model.predictor.predict_catchment(t.target_id, config)
-            if site is None:
+        for p in model.predictor.predict(config, targets):
+            if p.site is None:
                 continue
-            split[site] += 1
-            rtt = model.rtt_matrix.values.get((site, t.target_id))
-            if rtt is not None:
-                rtts.append(rtt)
+            split[p.site] += 1
+            if p.rtt_ms is not None:
+                rtts.append(p.rtt_ms)
         scores[name] = sum(rtts) / len(rtts)
         top = ", ".join(f"{s}:{n}" for s, n in split.most_common(4))
         print(f"   {name:<16} {scores[name]:>8.1f}ms {median(rtts):>10.1f}ms  {top}")
@@ -72,13 +70,14 @@ def main() -> None:
         config = CANDIDATES[name]
         deployment = anyopt.deploy(config)
         inferred = inference.predict_all(config)
+        measured_sites = model.predictor.predict(config, targets).sites()
         anyopt_hits = anyopt_total = infer_hits = infer_total = 0
         certain = 0
         for t in targets:
             outcome = deployment.forwarding(t)
             if outcome is None:
                 continue
-            predicted = model.predictor.predict_catchment(t.target_id, config)
+            predicted = measured_sites[t.target_id]
             if predicted is not None:
                 anyopt_total += 1
                 anyopt_hits += predicted == outcome.site_id

@@ -36,6 +36,8 @@ from repro.core import (
     AnyOptModel,
     CatchmentPredictor,
     ExperimentRunner,
+    Prediction,
+    PredictionBatch,
     PreferenceMatrix,
     build_total_order,
 )
@@ -73,6 +75,8 @@ __all__ = [
     "ExperimentRunner",
     "MetricsRegistry",
     "Orchestrator",
+    "Prediction",
+    "PredictionBatch",
     "PreferenceMatrix",
     "RepairReport",
     "TargetSet",

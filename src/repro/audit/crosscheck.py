@@ -70,11 +70,12 @@ def cross_check(
         nonlocal checked, correct
         deployment = orchestrator.deploy(config)
         measured = deployment.measure_catchments()
-        for target in targets:
+        batch = model.predictor.predict(config, targets)
+        for target, prediction in zip(targets, batch):
             client = target.target_id
             if client in quarantined:
                 continue
-            predicted = model.predictor.predict_catchment(client, config)
+            predicted = prediction.site
             measured_site = measured.site_of(client)
             if predicted is None or measured_site is None:
                 continue

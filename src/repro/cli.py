@@ -61,6 +61,16 @@ def _positive_int(raw: str) -> int:
     return value
 
 
+def _port(raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a port number, got {raw!r}") from None
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(f"expected a port in [0, 65535], got {value}")
+    return value
+
+
 def _probability(raw: str) -> float:
     try:
         value = float(raw)
@@ -178,6 +188,8 @@ def cmd_discover(args) -> int:
         f"({100 * with_order / len(anyopt.targets):.1f}%)"
     )
     print(f"saved model to {args.out}")
+    if args.snapshot_out:
+        _compile_snapshot_file(model, args.snapshot_out)
     return 0
 
 
@@ -223,6 +235,8 @@ def cmd_audit(args) -> int:
         if args.out:
             save_model(model, args.out)
             print(f"saved repaired model to {args.out}")
+    if args.snapshot_out:
+        _compile_snapshot_file(model, args.snapshot_out)
     if args.report:
         doc = report.to_dict()
         if repair_report is not None:
@@ -392,6 +406,113 @@ def cmd_diff(args) -> int:
             print(f"mean RTT change of movers: {diff.mean_rtt_delta_ms():+.1f} ms")
         except ReproError:
             pass
+    return 0
+
+
+def _compile_snapshot_file(model, path: str) -> None:
+    from repro.serve import compile_snapshot, write_snapshot
+
+    snapshot = compile_snapshot(model)
+    write_snapshot(snapshot, path)
+    print(f"published snapshot {snapshot.version} to {path}")
+
+
+def cmd_snapshot(args) -> int:
+    from repro.serve import load_snapshot, read_header
+
+    if args.snapshot:
+        if args.verify:
+            load_snapshot(args.snapshot)  # full payload checksum
+        doc = dict(read_header(args.snapshot))
+        doc.pop("arrays", None)
+        print(render_table(
+            ["field", "value"],
+            [[key, json.dumps(doc[key]) if isinstance(doc[key], dict) else str(doc[key])]
+             for key in sorted(doc)],
+        ))
+        if args.verify:
+            print("payload checksum: ok")
+        return 0
+    if not (args.testbed and args.model and args.out):
+        raise ReproError(
+            "snapshot needs either --snapshot PATH to inspect, or "
+            "--testbed/--model/--out to compile one"
+        )
+    testbed = load_testbed(args.testbed)
+    model = load_model(args.model, testbed)
+    _compile_snapshot_file(model, args.out)
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from repro.report import render_prediction_batch
+    from repro.serve import LookupEngine, load_snapshot
+
+    engine = LookupEngine(load_snapshot(args.snapshot))
+    config = AnycastConfig(site_order=args.sites)
+    clients = list(args.clients) if args.clients else None
+    batch = engine.predict(config, clients)
+    print(render_prediction_batch(batch, limit=args.limit))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import ModelServer
+
+    snapshot_path = args.snapshot
+    if snapshot_path is None:
+        if not (args.testbed and args.model):
+            raise ReproError(
+                "serve needs --snapshot, or --testbed and --model to compile one"
+            )
+        testbed = load_testbed(args.testbed)
+        model = load_model(args.model, testbed)
+        snapshot_path = args.out or f"{args.model}.snap"
+        _compile_snapshot_file(model, snapshot_path)
+
+    server = ModelServer(snapshot_path, host=args.host, port=args.port)
+    server.load()  # fail fast on a corrupt snapshot, before binding
+
+    def _hot_reload():
+        try:
+            old, new = server.reload()
+            print(f"reloaded snapshot: {old} -> {new}")
+        except ReproError as exc:
+            print(f"reload failed, old model keeps serving: {exc}", file=sys.stderr)
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"serving model {server.engine.version} on "
+            f"http://{server.host}:{server.port} "
+            "(POST /predict, GET /healthz, GET /modelz, POST /reloadz)"
+        )
+        loop = asyncio.get_event_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        # SIGHUP = hot reload, the audit/repair publish hand-off.
+        loop.add_signal_handler(signal.SIGHUP, _hot_reload)
+        serving = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        print("shutting down (draining in-flight requests)")
+        serving.cancel()
+        try:
+            await serving
+        except asyncio.CancelledError:
+            pass
+        await server.shutdown()
+
+    asyncio.run(_serve())
+    if getattr(args, "trace", None):
+        write_trace_jsonl(server.tracer.records(), args.trace)
+        print(f"trace written to {args.trace}")
+    if getattr(args, "metrics_out", None):
+        write_prometheus(server.metrics.snapshot(), args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -567,6 +688,13 @@ def build_parser() -> argparse.ArgumentParser:
         "repaired model (implies --audit)",
     )
     p.add_argument("--out", required=True)
+    p.add_argument(
+        "--snapshot-out",
+        default=None,
+        metavar="PATH",
+        help="also compile the saved model into a serving snapshot at PATH "
+        "(what 'anyopt serve --snapshot' loads)",
+    )
     p.set_defaults(func=cmd_discover)
 
     p = sub.add_parser(
@@ -634,6 +762,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the audit report (and repair transcript) as JSON to PATH",
     )
+    p.add_argument(
+        "--snapshot-out",
+        default=None,
+        metavar="PATH",
+        help="publish the (possibly repaired) model as a serving snapshot at "
+        "PATH — an atomic replace, so a running 'anyopt serve' can hot-reload it",
+    )
     p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("optimize", parents=[stats], help="offline configuration search")
@@ -699,6 +834,73 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--before", type=_parse_id_list, required=True)
     p.add_argument("--after", type=_parse_id_list, required=True)
     p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser(
+        "snapshot",
+        help="compile a saved model into a serving snapshot, or inspect one",
+    )
+    p.add_argument("--testbed", default=None, help="testbed JSON (compile mode)")
+    p.add_argument("--model", default=None, help="saved model JSON to compile")
+    p.add_argument("--out", default=None, help="where to write the compiled snapshot")
+    p.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="inspect an existing snapshot instead of compiling one",
+    )
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="with --snapshot, also checksum the full payload",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_snapshot)
+
+    p = sub.add_parser(
+        "predict",
+        help="batched offline catchment prediction from a snapshot",
+    )
+    p.add_argument("--snapshot", required=True, help="compiled snapshot to query")
+    p.add_argument("--sites", type=_parse_id_list, required=True)
+    p.add_argument(
+        "--clients",
+        type=_parse_id_list,
+        default=None,
+        help="client ids to predict (default: every client in the snapshot)",
+    )
+    p.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=20,
+        help="prediction rows to print",
+    )
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser(
+        "serve",
+        parents=[stats],
+        help="serve catchment predictions over HTTP from a snapshot",
+    )
+    p.add_argument(
+        "--snapshot", default=None, help="compiled snapshot to serve"
+    )
+    p.add_argument(
+        "--testbed", default=None, help="testbed JSON (with --model, compiles a snapshot)"
+    )
+    p.add_argument(
+        "--model",
+        default=None,
+        help="saved model JSON to compile and serve when --snapshot is absent",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="where the on-the-fly snapshot is written (default: MODEL.snap)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=_port, default=8080)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "inspect-trace",

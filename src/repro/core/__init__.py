@@ -45,7 +45,12 @@ from repro.core.experiments import (
 from repro.core.optimizer import OptimizationReport, search_configurations
 from repro.core.peers import OnePassReport, one_pass_peer_selection
 from repro.core.planner import MeasurementPlan, plan_measurements
-from repro.core.prediction import CatchmentPredictor, PredictionReport
+from repro.core.prediction import (
+    CatchmentPredictor,
+    Prediction,
+    PredictionBatch,
+    PredictionReport,
+)
 from repro.core.preferences import (
     PreferenceMatrix,
     PreferenceOutcome,
@@ -69,6 +74,8 @@ __all__ = [
     "OnePassReport",
     "OptimizationReport",
     "PairwiseResult",
+    "Prediction",
+    "PredictionBatch",
     "PredictionReport",
     "PreferenceMatrix",
     "PreferenceOutcome",

@@ -8,7 +8,9 @@ any plotting dependency:
 - :func:`render_histogram` — a horizontal bar histogram;
 - :func:`render_catchment_bars` — per-site catchment share bars;
 - :func:`render_metrics` — campaign counters, timers, and phases;
-- :func:`render_audit_report` — integrity-audit findings and quarantine.
+- :func:`render_audit_report` — integrity-audit findings and quarantine;
+- :func:`render_prediction_batch` — a typed prediction batch with its
+  reason census.
 """
 
 from repro.report.text import (
@@ -17,6 +19,7 @@ from repro.report.text import (
     render_cdf,
     render_histogram,
     render_metrics,
+    render_prediction_batch,
     render_table,
 )
 
@@ -26,5 +29,6 @@ __all__ = [
     "render_cdf",
     "render_histogram",
     "render_metrics",
+    "render_prediction_batch",
     "render_table",
 ]

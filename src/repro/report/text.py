@@ -225,6 +225,43 @@ def render_audit_report(report) -> str:
     return "\n\n".join(sections)
 
 
+def render_prediction_batch(batch, limit: int = 20) -> str:
+    """Render a typed :class:`~repro.core.prediction.PredictionBatch`:
+    headline summary, the per-reason census, and the first ``limit``
+    predictions.  Degrades structurally on an empty or all-quarantined
+    batch (no RTT, no rows) instead of raising."""
+    mean_rtt = batch.mean_rtt_ms
+    rtt_note = (
+        f"; mean RTT {mean_rtt:.1f} ms" if mean_rtt is not None else "; no RTT available"
+    )
+    sections: List[str] = [
+        f"predicted {batch.decided_count}/{len(batch)} client(s) under "
+        f"sites {','.join(map(str, batch.config.site_order))}{rtt_note}"
+    ]
+    reasons = batch.counts_by_reason()
+    if reasons:
+        sections.append(
+            render_table(
+                ["reason", "clients"],
+                [[reason, str(reasons[reason])] for reason in sorted(reasons)],
+            )
+        )
+    rows = [
+        [
+            str(p.client_id),
+            str(p.site) if p.site is not None else "-",
+            f"{p.rtt_ms:.1f}" if p.rtt_ms is not None else "-",
+            p.reason or "ok",
+        ]
+        for p in list(batch)[:limit]
+    ]
+    if rows:
+        sections.append(render_table(["client", "site", "rtt (ms)", "status"], rows))
+        if len(batch) > limit:
+            sections.append(f"... {len(batch) - limit} more client(s)")
+    return "\n\n".join(sections)
+
+
 def render_catchment_bars(
     catchment_sizes: Dict[int, int],
     total: Optional[int] = None,

@@ -1,0 +1,45 @@
+"""Catchment prediction as a service.
+
+Once preferences are discovered, predicting "which site catches client
+X under configuration C, at what RTT" is pure offline computation
+(S5.2) — this package turns that computation into a long-running
+service instead of a one-shot CLI invocation:
+
+- :mod:`repro.serve.snapshot` — an immutable, versioned, checksummed
+  model snapshot format, compiled from a discovered model into dense
+  numpy arrays and memory-mapped so N workers share one copy;
+- :mod:`repro.serve.lookup` — a batched, vectorized lookup engine over
+  a snapshot, byte-identical to the live
+  :class:`~repro.core.prediction.CatchmentPredictor`;
+- :mod:`repro.serve.http` — an asyncio HTTP/JSON front end
+  (``anyopt serve``) with ``/predict``, ``/healthz``, ``/modelz``,
+  graceful shutdown, and hot snapshot reload.
+"""
+
+from repro.serve.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    Snapshot,
+    SnapshotError,
+    compile_snapshot,
+    load_snapshot,
+    read_header,
+    write_snapshot,
+)
+from repro.serve.lookup import LookupEngine
+from repro.serve.http import ModelServer, RequestError, run_server
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "LookupEngine",
+    "ModelServer",
+    "RequestError",
+    "run_server",
+    "Snapshot",
+    "SnapshotError",
+    "compile_snapshot",
+    "load_snapshot",
+    "read_header",
+    "write_snapshot",
+]

@@ -1,0 +1,383 @@
+"""Asyncio HTTP/JSON front end over a model snapshot.
+
+``anyopt serve`` runs a :class:`ModelServer`: a single-process asyncio
+server (stdlib only — no third-party HTTP framework) whose request
+handlers answer from a :class:`~repro.serve.lookup.LookupEngine`.
+
+Endpoints:
+
+- ``POST /predict`` — ``{"sites": [...], "clients": [...]?}`` →
+  the typed batch (:meth:`PredictionBatch.to_dict`) plus the serving
+  model version.  Malformed requests and empty/undecidable batches
+  come back as *structured 4xx JSON errors*, never a 500: a service
+  cannot ship a raised ``ReproError`` as its answer.
+- ``GET /healthz`` — liveness plus the in-flight request count.
+- ``GET /modelz`` — the snapshot's :meth:`Snapshot.describe` document.
+- ``POST /reloadz`` — hot reload: re-load the snapshot path (atomic
+  publish by :func:`~repro.serve.snapshot.write_snapshot` guarantees a
+  complete file) and swap the engine.
+
+Consistency under reload: handlers capture the engine reference once
+per request, and the swap is a single attribute assignment on the
+event-loop thread — an in-flight request finishes against the model
+version it started with, and the old mmap stays valid until its last
+reader drops it.  Nothing is dropped or torn.
+
+Shutdown is graceful: the listener closes first, in-flight requests
+drain (bounded by a grace period), then idle keep-alive connections
+are closed.
+"""
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import AnycastConfig
+from repro.obs.trace import Tracer
+from repro.runtime.metrics import MetricsRegistry
+from repro.serve.lookup import LookupEngine
+from repro.serve.snapshot import SnapshotError, load_snapshot
+from repro.util.errors import ReproError
+
+#: Largest accepted request body; /predict bodies are tiny id lists.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    503: "Service Unavailable",
+}
+
+
+class RequestError(Exception):
+    """A structured client error: rendered as JSON, never a 500."""
+
+    def __init__(self, status: int, code: str, message: str, **details):
+        super().__init__(message)
+        self.status = status
+        self.doc = {"error": {"status": status, "code": code, "message": message}}
+        if details:
+            self.doc["error"].update(details)
+
+
+class ModelServer:
+    """Serves catchment predictions from a snapshot file.
+
+    ``host``/``port`` follow ``asyncio.start_server`` conventions
+    (``port=0`` binds an ephemeral port, reported by :attr:`port` once
+    started — what the tests and the smoke job use).
+    """
+
+    def __init__(
+        self,
+        snapshot_path: str,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.snapshot_path = snapshot_path
+        self.host = host
+        self.port = port
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.engine: Optional[LookupEngine] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+        self._inflight = 0
+        self._requests_served = 0
+        self._request_seq = 0
+        self._closing = False
+        self._drained = asyncio.Event()
+        self._drained.set()
+
+    # -- model lifecycle -------------------------------------------------------
+
+    def load(self) -> LookupEngine:
+        """Load (or initially reload) the snapshot into a fresh engine."""
+        self.engine = LookupEngine(load_snapshot(self.snapshot_path))
+        return self.engine
+
+    def reload(self) -> Tuple[str, str]:
+        """Hot-swap the engine from the (re-published) snapshot path.
+
+        Returns ``(old_version, new_version)``.  On any load failure
+        the old engine keeps serving — reload is all-or-nothing.
+        """
+        old = self.engine.version if self.engine is not None else ""
+        engine = LookupEngine(load_snapshot(self.snapshot_path))
+        self.engine = engine
+        self.metrics.counter("serve_reloads").increment()
+        return old, engine.version
+
+    # -- server lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.engine is None:
+            self.load()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self, grace_s: float = 10.0) -> None:
+        """Stop accepting, drain in-flight requests, close idle
+        connections."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._drained.wait(), grace_s)
+        except asyncio.TimeoutError:  # pragma: no cover - only on stuck handlers
+            pass
+        for writer in list(self._connections):
+            writer.close()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self._connections.add(writer)
+        try:
+            while not self._closing:
+                request = await self._read_request(reader, writer)
+                if request is None:
+                    break
+                method, path, body = request
+                self._inflight += 1
+                self._drained.clear()
+                try:
+                    keep_alive = await self._dispatch(writer, method, path, body)
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._drained.set()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader, writer):
+        """One HTTP/1.1 request: ``(method, path, body)`` or None when
+        the peer closed the connection."""
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3:
+            await self._send(writer, 400, {
+                "error": {"status": 400, "code": "bad-request",
+                          "message": "malformed request line"}
+            }, keep_alive=False)
+            return None
+        method, target, _version = parts
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = -1
+        if content_length < 0 or content_length > MAX_BODY_BYTES:
+            await self._send(writer, 413, {
+                "error": {"status": 413, "code": "payload-too-large",
+                          "message": f"body must be <= {MAX_BODY_BYTES} bytes"}
+            }, keep_alive=False)
+            return None
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, target.split("?", 1)[0], body
+
+    async def _dispatch(self, writer, method: str, path: str, body: bytes) -> bool:
+        self._request_seq += 1
+        seq = self._request_seq
+        timer = self.metrics.histogram("serve_request_ms")
+        loop = asyncio.get_event_loop()
+        started = loop.time()
+        with self.tracer.span(
+            "http-request", key=f"req:{seq}", parent=None, method=method, path=path
+        ) as span:
+            try:
+                status, doc = self._route(method, path, body, span)
+            except RequestError as exc:
+                status, doc = exc.status, exc.doc
+                self.metrics.counter("serve_client_errors").increment()
+            except ReproError as exc:
+                # Any remaining domain error is still the client's
+                # request being unanswerable, not a server fault.
+                status = 400
+                doc = {"error": {"status": 400, "code": "bad-request",
+                                 "message": str(exc)}}
+                self.metrics.counter("serve_client_errors").increment()
+            span.set_attribute("status", status)
+            self._requests_served += 1
+            self.metrics.counter("serve_requests").increment()
+            elapsed_ms = (loop.time() - started) * 1000.0
+            timer.observe(elapsed_ms)
+            span.set_attribute("elapsed_ms", elapsed_ms)
+            keep_alive = not self._closing
+            await self._send(writer, status, doc, keep_alive=keep_alive)
+            return keep_alive
+
+    def _route(self, method: str, path: str, body: bytes, span) -> Tuple[int, Dict]:
+        if path == "/predict":
+            if method != "POST":
+                raise RequestError(405, "method-not-allowed", "use POST /predict")
+            return self._handle_predict(body, span)
+        if path == "/healthz":
+            if method != "GET":
+                raise RequestError(405, "method-not-allowed", "use GET /healthz")
+            return 200, {
+                "status": "ok",
+                "model_version": self.engine.version,
+                "inflight": self._inflight,
+                "requests_served": self._requests_served,
+            }
+        if path == "/modelz":
+            if method != "GET":
+                raise RequestError(405, "method-not-allowed", "use GET /modelz")
+            return 200, self.engine.snapshot.describe()
+        if path == "/reloadz":
+            if method != "POST":
+                raise RequestError(405, "method-not-allowed", "use POST /reloadz")
+            return self._handle_reload()
+        raise RequestError(404, "not-found", f"no route for {path}")
+
+    def _handle_predict(self, body: bytes, span) -> Tuple[int, Dict]:
+        doc = self._parse_body(body)
+        sites = doc.get("sites")
+        if not isinstance(sites, list) or not all(isinstance(s, int) for s in sites):
+            raise RequestError(
+                400, "bad-request", '"sites" must be a list of site ids'
+            )
+        if not sites:
+            raise RequestError(
+                400, "empty-sites", "an anycast configuration needs at least one site"
+            )
+        clients = doc.get("clients")
+        if clients is not None:
+            if not isinstance(clients, list) or not all(
+                isinstance(c, int) for c in clients
+            ):
+                raise RequestError(
+                    400, "bad-request", '"clients" must be a list of client ids'
+                )
+            if not clients:
+                raise RequestError(
+                    400, "empty-clients",
+                    'omit "clients" for all known clients; an explicit empty '
+                    "batch is unanswerable",
+                )
+
+        # The engine reference is captured once: a concurrent hot
+        # reload never changes the model mid-request.
+        engine = self.engine
+        try:
+            config = AnycastConfig(site_order=tuple(sites))
+            batch = engine.predict(config, clients)
+        except SnapshotError as exc:
+            raise RequestError(400, "unknown-site", str(exc)) from None
+        except ReproError as exc:
+            raise RequestError(400, "bad-request", str(exc)) from None
+
+        span.set_attribute("batch_size", len(batch))
+        span.set_attribute("decided", batch.decided_count)
+        self.metrics.histogram("serve_batch_size").observe(float(len(batch)))
+        if batch.decided_count == 0:
+            # All-quarantined/unmapped: structurally a client-data
+            # problem (the model cannot answer for these clients), so
+            # 422 with the reason census — not a raised ReproError/500.
+            raise RequestError(
+                422,
+                "no-decided-predictions",
+                "no client in the batch has a predictable catchment "
+                "under this configuration",
+                reasons=batch.counts_by_reason(),
+                model_version=engine.version,
+            )
+        answer = batch.to_dict()
+        answer["model_version"] = engine.version
+        return 200, answer
+
+    def _handle_reload(self) -> Tuple[int, Dict]:
+        try:
+            old, new = self.reload()
+        except (SnapshotError, OSError) as exc:
+            raise RequestError(
+                503, "reload-failed",
+                f"snapshot reload failed, old model keeps serving: {exc}",
+            ) from None
+        return 200, {"old_version": old, "model_version": new,
+                     "changed": old != new}
+
+    @staticmethod
+    def _parse_body(body: bytes) -> Dict:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise RequestError(
+                400, "bad-json", f"request body is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(doc, dict):
+            raise RequestError(400, "bad-request", "request body must be an object")
+        return doc
+
+    async def _send(self, writer, status: int, doc: Dict, keep_alive: bool) -> None:
+        payload = json.dumps(doc).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+
+async def run_server(
+    snapshot_path: str,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    ready=None,
+) -> ModelServer:
+    """Boot a :class:`ModelServer` and serve until cancelled.
+
+    ``ready`` is an optional callback invoked with the server once the
+    listener is bound (tests use it to learn the ephemeral port).
+    Cancellation triggers a graceful shutdown.
+    """
+    server = ModelServer(
+        snapshot_path, host=host, port=port, metrics=metrics, tracer=tracer
+    )
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.shutdown()
+    return server

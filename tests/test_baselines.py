@@ -103,12 +103,13 @@ class TestTopologyInference:
         cfg = AnycastConfig(site_order=(1, 4, 6, 12))
         deployment = anyopt.deploy(cfg)
         inferred = predictor.predict_all(cfg)
+        measured_batch = anyopt_model.predictor.predict(cfg, targets)
         anyopt_ok = anyopt_ok_n = infer_ok = infer_n = 0
-        for t in targets:
+        for t, measured in zip(targets, measured_batch):
             outcome = deployment.forwarding(t)
             if outcome is None:
                 continue
-            predicted = anyopt_model.predictor.predict_catchment(t.target_id, cfg)
+            predicted = measured.site
             if predicted is not None:
                 anyopt_ok_n += 1
                 anyopt_ok += predicted == outcome.site_id

@@ -4,7 +4,12 @@ import pytest
 
 from repro.baselines import random_config
 from repro.core.config import AnycastConfig
-from repro.core.prediction import PredictionReport
+from repro.core.prediction import (
+    REASON_UNMAPPED,
+    Prediction,
+    PredictionBatch,
+    PredictionReport,
+)
 from repro.util.errors import ReproError
 
 
@@ -13,31 +18,27 @@ def predictor(anyopt_model):
     return anyopt_model.predictor
 
 
-class TestPredictCatchment:
+class TestPredictBatch:
     def test_predicts_enabled_site_or_none(self, predictor, targets, testbed):
         cfg = AnycastConfig(site_order=(1, 4, 6))
-        for t in list(targets)[:100]:
-            site = predictor.predict_catchment(t.target_id, cfg)
-            assert site in (1, 4, 6, None)
+        for p in predictor.predict(cfg, list(targets)[:100]):
+            assert p.site in (1, 4, 6, None)
+            assert p.decided == (p.site is not None)
 
     def test_singleton_prediction_is_that_site(self, predictor, targets):
         cfg = AnycastConfig(site_order=(9,))
-        predicted = {
-            predictor.predict_catchment(t.target_id, cfg) for t in targets
-        }
+        predicted = {p.site for p in predictor.predict(cfg, targets)}
         assert predicted <= {9, None}
 
     def test_prediction_respects_announce_order(self, predictor, targets):
         """For order-dependent clients, reversing the configured
         announcement order can change the prediction."""
-        ab = AnycastConfig(site_order=(1, 6))
-        ba = AnycastConfig(site_order=(6, 1))
+        ab = predictor.predict(AnycastConfig(site_order=(1, 6)), targets)
+        ba = predictor.predict(AnycastConfig(site_order=(6, 1)), targets)
         changed = sum(
             1
-            for t in targets
-            if predictor.predict_catchment(t.target_id, ab) is not None
-            and predictor.predict_catchment(t.target_id, ab)
-            != predictor.predict_catchment(t.target_id, ba)
+            for p, q in zip(ab, ba)
+            if p.site is not None and p.site != q.site
         )
         assert changed > 0
 
@@ -46,15 +47,63 @@ class TestPredictCatchment:
         result = predictor.predict_catchments(cfg, targets)
         assert len(result) == len(targets)
 
+    def test_batch_preserves_request_order(self, predictor, targets):
+        cfg = AnycastConfig(site_order=(1, 6))
+        ids = [t.target_id for t in targets][:20][::-1]
+        batch = predictor.predict(cfg, ids)
+        assert [p.client_id for p in batch] == ids
+
+    def test_unknown_client_is_unmapped(self, predictor):
+        cfg = AnycastConfig(site_order=(1, 6))
+        batch = predictor.predict(cfg, [10**9])
+        assert batch[0] == Prediction(10**9, None, None, REASON_UNMAPPED)
+        assert batch.counts_by_reason() == {REASON_UNMAPPED: 1}
+
+    def test_reasons_partition_the_batch(self, predictor, targets):
+        cfg = AnycastConfig(site_order=(1, 4, 6))
+        batch = predictor.predict(cfg, targets)
+        undecided = sum(batch.counts_by_reason().values()) - sum(
+            1 for p in batch if p.decided and p.reason
+        )
+        assert batch.decided_count + undecided == len(batch)
+
+    def test_empty_batch_mean_rtt_is_none(self, predictor):
+        cfg = AnycastConfig(site_order=(1,))
+        assert predictor.predict(cfg, []).mean_rtt_ms is None
+
+
+class TestDeprecatedShims:
+    def test_predict_catchment_warns_and_matches_batch(self, predictor, targets):
+        cfg = AnycastConfig(site_order=(1, 4, 6))
+        target = list(targets)[0]
+        batch = predictor.predict(cfg, [target])
+        with pytest.warns(DeprecationWarning, match="predict_catchment is deprecated"):
+            legacy = predictor.predict_catchment(target.target_id, cfg)
+        assert legacy == batch[0].site
+
+    def test_predict_rtt_warns_and_matches_batch(self, predictor, targets):
+        cfg = AnycastConfig(site_order=(1, 4, 6))
+        target = list(targets)[0]
+        batch = predictor.predict(cfg, [target])
+        with pytest.warns(DeprecationWarning, match="predict_rtt is deprecated"):
+            legacy = predictor.predict_rtt(target.target_id, cfg)
+        assert legacy == batch[0].rtt_ms
+
+    def test_warning_blames_the_caller(self, predictor, targets):
+        """stacklevel=2 points the warning at this file, not at
+        prediction.py — the resolve_settings convention."""
+        cfg = AnycastConfig(site_order=(1,))
+        with pytest.warns(DeprecationWarning) as captured:
+            predictor.predict_catchment(list(targets)[0].target_id, cfg)
+        assert captured[0].filename == __file__
+
 
 class TestPredictRtt:
     def test_rtt_from_matrix(self, predictor, targets, anyopt_model):
         cfg = AnycastConfig(site_order=(1, 6))
-        for t in list(targets)[:50]:
-            rtt = predictor.predict_rtt(t.target_id, cfg)
-            site = predictor.predict_catchment(t.target_id, cfg)
-            if rtt is not None:
-                assert rtt == anyopt_model.rtt_matrix.rtt(site, t.target_id)
+        for p in predictor.predict(cfg, list(targets)[:50]):
+            if p.rtt_ms is not None:
+                assert p.rtt_ms == anyopt_model.rtt_matrix.rtt(p.site, p.client_id)
 
     def test_mean_rtt_positive(self, predictor, targets):
         cfg = AnycastConfig(site_order=(1, 4, 6, 12))
@@ -92,3 +141,25 @@ class TestEvaluate:
         )
         with pytest.raises(ReproError):
             report.accuracy
+        assert report.accuracy_or_none is None
+
+    def test_batch_to_dict_shape(self, predictor, targets):
+        cfg = AnycastConfig(site_order=(1, 6))
+        doc = predictor.predict(cfg, list(targets)[:5]).to_dict()
+        assert doc["sites"] == [1, 6]
+        assert doc["summary"]["clients"] == 5
+        assert len(doc["predictions"]) == 5
+        assert isinstance(doc["predictions"][0], dict)
+
+
+def test_prediction_batch_is_sequence_like():
+    cfg = AnycastConfig(site_order=(3,))
+    batch = PredictionBatch(
+        config=cfg,
+        predictions=[Prediction(1, 3, 10.0), Prediction(2, None, None, "quarantined")],
+    )
+    assert len(batch) == 2
+    assert batch[0].decided and not batch[1].decided
+    assert batch.decided_count == 1
+    assert batch.sites() == {1: 3, 2: None}
+    assert batch.mean_rtt_ms == 10.0

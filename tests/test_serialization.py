@@ -101,10 +101,10 @@ class TestModelRoundTrip:
     def test_predictions_identical(self, anyopt_model, testbed, targets):
         clone = model_from_dict(model_to_dict(anyopt_model), testbed)
         config = AnycastConfig(site_order=(1, 4, 6, 12))
-        for t in list(targets)[:100]:
-            assert clone.predictor.predict_catchment(t.target_id, config) == (
-                anyopt_model.predictor.predict_catchment(t.target_id, config)
-            )
+        sample = list(targets)[:100]
+        cloned = clone.predictor.predict(config, sample)
+        original = anyopt_model.predictor.predict(config, sample)
+        assert cloned.predictions == original.predictions
 
     def test_total_orders_identical(self, anyopt_model, testbed, targets):
         clone = model_from_dict(model_to_dict(anyopt_model), testbed)
