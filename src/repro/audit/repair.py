@@ -252,6 +252,14 @@ def repair_model(
     are trimmed in plan order and the report flags the exhaustion.
     ``checkpoint_path`` / ``resume_from`` give repair the same
     kill-and-resume contract as discovery.
+
+    Each round rebuilds its orchestrator (the escalated retry budget
+    lives in its settings), but the process executor's pool is keyed
+    on the campaign *spec*, not the orchestrator object: round 0 runs
+    its chunked re-measurements on the warm workers discovery forked
+    (its settings are value-equal to the campaign's), and only the
+    escalated rounds — whose workers must honor a larger retry budget
+    — pay for a re-fork.
     """
     # Imported lazily, matching AnyOpt.discover: repro.io imports
     # repro.core, and this module is reached from repro.core.anyopt.

@@ -92,6 +92,7 @@ def _settings_from_args(args) -> Optional[CampaignSettings]:
         ("fault_session_reset", "fault_session_reset_prob"),
         ("max_attempts", "retry_max_attempts"),
         ("executor", "executor"),
+        ("chunk_size", "process_chunk_size"),
         ("cache_dir", "convergence_cache_path"),
     ):
         value = getattr(args, flag, None)
@@ -317,7 +318,9 @@ def cmd_peers(args) -> int:
     peer_ids = anyopt.testbed.peer_ids()
     if args.max_peers:
         peer_ids = peer_ids[: args.max_peers]
-    report = anyopt.incorporate_peers(base, peer_ids=peer_ids)
+    report = anyopt.incorporate_peers(
+        base, peer_ids=peer_ids, parallelism=args.parallelism
+    )
     beneficial = report.beneficial_peers()
     print(
         f"probed {len(report.probes)} peers: "
@@ -644,6 +647,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="attempts per experiment before it is recorded as failed",
     )
 
+    # Executor knobs, shared by subcommands that can run experiments in
+    # a worker pool (discover, audit --repair, peers).
+    runtime = argparse.ArgumentParser(add_help=False)
+    runtime.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default=None,
+        help="worker pool kind for --parallelism > 1: shared-memory threads "
+        "(default) or forked processes (results are identical either way)",
+    )
+    runtime.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="experiments per dispatch to a process-pool worker (default: "
+        "auto-sized from the task count and pool width; ignored by the "
+        "thread executor)",
+    )
+
     p = sub.add_parser("build-testbed", help="generate and save a testbed")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--stubs", type=int, default=600)
@@ -652,7 +675,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_build_testbed)
 
     p = sub.add_parser(
-        "discover", parents=[stats, faults], help="run the measurement campaign"
+        "discover",
+        parents=[stats, faults, runtime],
+        help="run the measurement campaign",
     )
     p.add_argument("--testbed", required=True)
     p.add_argument("--seed", type=int, default=0)
@@ -662,13 +687,6 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         help="campaign workers (results are identical to serial)",
-    )
-    p.add_argument(
-        "--executor",
-        choices=["thread", "process"],
-        default=None,
-        help="worker pool kind for --parallelism > 1: shared-memory threads "
-        "(default) or forked processes (results are identical either way)",
     )
     p.add_argument(
         "--checkpoint",
@@ -699,7 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "audit",
-        parents=[stats, faults],
+        parents=[stats, faults, runtime],
         help="audit a saved model's prediction integrity; optionally self-heal it",
     )
     p.add_argument("--testbed", required=True)
@@ -801,12 +819,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_catchment)
 
     p = sub.add_parser(
-        "peers", parents=[stats, faults], help="one-pass beneficial-peer selection"
+        "peers",
+        parents=[stats, faults, runtime],
+        help="one-pass beneficial-peer selection",
     )
     p.add_argument("--testbed", required=True)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--sites", type=_parse_id_list, required=True)
     p.add_argument("--max-peers", type=int, default=None)
+    p.add_argument(
+        "--parallelism",
+        type=_positive_int,
+        default=None,
+        help="peer-probe workers (results are identical to serial)",
+    )
     p.set_defaults(func=cmd_peers)
 
     p = sub.add_parser("stability", parents=[stats], help="weekly re-measurement study (S6)")
@@ -965,6 +991,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # Campaign executors now outlive their phase (the warm pool);
+        # shut the pool down with the process, even on error paths.
+        anyopt = getattr(args, "_anyopt", None)
+        if anyopt is not None:
+            anyopt.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

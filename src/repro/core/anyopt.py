@@ -22,7 +22,7 @@ from repro.core.twolevel import SiteLevelMode, TwoLevelModel, discover_two_level
 from repro.measurement.orchestrator import Deployment, Orchestrator
 from repro.measurement.rtt import RttMatrix
 from repro.measurement.targets import TargetSet, select_targets
-from repro.runtime.executor import make_executor
+from repro.runtime.executor import CampaignExecutor, make_executor
 from repro.runtime.settings import CampaignSettings, resolve_settings
 from repro.topology.testbed import Testbed
 
@@ -57,6 +57,11 @@ class AnyOpt:
     :class:`~repro.runtime.settings.CampaignSettings` value.  The old
     per-knob constructor kwargs (``session_churn_prob=`` etc.) are
     still accepted for now but emit a :class:`DeprecationWarning`.
+
+    With ``executor="process"`` the pool of forked workers is shared
+    across the campaign's phases (discover → audit → repair → peers);
+    call :meth:`close` — or use ``AnyOpt`` as a context manager — to
+    shut the workers down when the campaign is over.
     """
 
     def __init__(
@@ -91,6 +96,53 @@ class AnyOpt:
             testbed, self.targets, seed=seed, settings=self.settings
         )
         self.runner = ExperimentRunner(self.orchestrator)
+        #: The campaign's executor, cached across phases so a process
+        #: pool forked for discovery stays warm for audit repair and
+        #: peer incorporation instead of re-forking per phase.
+        self._executor: Optional[CampaignExecutor] = None
+        self._executor_key = None
+
+    def _campaign_executor(self, parallelism: Optional[int]) -> CampaignExecutor:
+        """The warm, phase-spanning executor for this campaign.
+
+        One executor per (width, kind, chunk size): repeated phases at
+        the same parallelism reuse it — for ``executor="process"``
+        that keeps the forked worker pool (and its warm convergence
+        caches) alive across discover → audit → repair.  Changing the
+        width swaps the executor (the old one is closed).
+        """
+        width = self.settings.parallelism if parallelism is None else parallelism
+        key = (width, self.settings.executor, self.settings.process_chunk_size)
+        if self._executor is None or self._executor_key != key:
+            self.close()
+            self._executor = make_executor(
+                width,
+                kind=self.settings.executor,
+                chunk_size=self.settings.process_chunk_size,
+            )
+            self._executor_key = key
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the campaign's pooled workers (idempotent).
+
+        Only matters for ``executor="process"`` — forked workers stay
+        warm between phases and need an explicit shutdown when the
+        campaign is over.  ``AnyOpt`` is also a context manager::
+
+            with AnyOpt(testbed, seed=7, settings=settings) as anyopt:
+                model = anyopt.discover()
+        """
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+            self._executor_key = None
+
+    def __enter__(self) -> "AnyOpt":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     @property
     def metrics(self):
@@ -130,10 +182,7 @@ class AnyOpt:
         # model serializer, so a module-level import would be a cycle.
         from repro.io import checkpoint as checkpoint_io
 
-        executor = make_executor(
-            self.settings.parallelism if parallelism is None else parallelism,
-            kind=self.settings.executor,
-        )
+        executor = self._campaign_executor(parallelism)
         before = self.orchestrator.experiment_count
         failures_before = len(self.orchestrator.failures)
 
@@ -160,33 +209,32 @@ class AnyOpt:
             if checkpoint_path is not None:
                 checkpoint_io.save_checkpoint(progress, checkpoint_path)
 
-        try:
-            # The campaign root span.  Executor kind and parallelism
-            # are deliberately NOT attributes: the exported trace must
-            # be identical across --executor modes.
-            with self.metrics.phase("discover"), self.tracer.span(
-                "discover",
-                sites=len(self.testbed.site_ids()),
-                providers=len(self.testbed.provider_asns()),
-                site_level=self.site_level_mode.value,
-                resumed=resume_from is not None,
-            ):
-                if progress.rtt_matrix is not None:
-                    rtt_matrix = progress.rtt_matrix
-                else:
-                    rtt_matrix = self.orchestrator.measure_rtt_matrix(executor=executor)
-                    progress.rtt_matrix = rtt_matrix
-                    save()
-                twolevel = discover_two_level(
-                    self.runner,
-                    rtt_matrix=rtt_matrix,
-                    site_level_mode=self.site_level_mode,
-                    executor=executor,
-                    progress=progress,
-                    checkpoint=save,
-                )
-        finally:
-            executor.close()
+        # The campaign root span.  Executor kind and parallelism are
+        # deliberately NOT attributes: the exported trace must be
+        # identical across --executor modes.  The executor is NOT
+        # closed here — it stays warm for the audit/repair phases that
+        # typically follow; AnyOpt.close() shuts it down.
+        with self.metrics.phase("discover"), self.tracer.span(
+            "discover",
+            sites=len(self.testbed.site_ids()),
+            providers=len(self.testbed.provider_asns()),
+            site_level=self.site_level_mode.value,
+            resumed=resume_from is not None,
+        ):
+            if progress.rtt_matrix is not None:
+                rtt_matrix = progress.rtt_matrix
+            else:
+                rtt_matrix = self.orchestrator.measure_rtt_matrix(executor=executor)
+                progress.rtt_matrix = rtt_matrix
+                save()
+            twolevel = discover_two_level(
+                self.runner,
+                rtt_matrix=rtt_matrix,
+                site_level_mode=self.site_level_mode,
+                executor=executor,
+                progress=progress,
+                checkpoint=save,
+            )
         return AnyOptModel(
             testbed=self.testbed,
             rtt_matrix=rtt_matrix,
@@ -266,25 +314,18 @@ class AnyOpt:
         """
         from repro.audit import repair_model
 
-        executor = make_executor(
-            self.settings.parallelism if parallelism is None else parallelism,
-            kind=self.settings.executor,
+        return repair_model(
+            self.orchestrator,
+            model,
+            self.targets,
+            report=report,
+            announce_order=announce_order,
+            max_rounds=max_rounds,
+            budget=budget,
+            executor=self._campaign_executor(parallelism),
+            checkpoint_path=checkpoint_path,
+            resume_from=resume_from,
         )
-        try:
-            return repair_model(
-                self.orchestrator,
-                model,
-                self.targets,
-                report=report,
-                announce_order=announce_order,
-                max_rounds=max_rounds,
-                budget=budget,
-                executor=executor,
-                checkpoint_path=checkpoint_path,
-                resume_from=resume_from,
-            )
-        finally:
-            executor.close()
 
     # -- offline computation ---------------------------------------------------
 
@@ -345,13 +386,9 @@ class AnyOpt:
         The single-peer trials are independent; ``parallelism`` pools
         them like :meth:`discover` does for pairwise experiments.
         """
-        executor = make_executor(
-            self.settings.parallelism if parallelism is None else parallelism,
-            kind=self.settings.executor,
+        return one_pass_peer_selection(
+            self.orchestrator,
+            config,
+            peer_ids=peer_ids,
+            executor=self._campaign_executor(parallelism),
         )
-        try:
-            return one_pass_peer_selection(
-                self.orchestrator, config, peer_ids=peer_ids, executor=executor
-            )
-        finally:
-            executor.close()

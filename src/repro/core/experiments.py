@@ -12,8 +12,13 @@ Campaign drivers describe their experiments as
 experiment ids were reserved up front — and hand the list to a
 :class:`~repro.runtime.executor.CampaignExecutor`.  The descriptor
 form is what lets the process-pool executor ship work to forked
-workers; the serial and thread executors execute the same descriptors
-in-process through :func:`execute_experiment_task`.
+workers — in chunks, so a phase's worth of descriptors costs a
+handful of pickling round trips rather than one per experiment; the
+serial and thread executors execute the same descriptors in-process
+through :func:`execute_experiment_task`.  Because every driver goes
+through ``run_experiments``, chunked dispatch reaches every phase
+(RTT matrix, provider/site pairwise, peer probes, audit repair)
+without phase-specific plumbing.
 """
 
 from dataclasses import dataclass
@@ -196,8 +201,10 @@ class ExperimentRunner:
 
         ``executor`` runs the (independent) pairs concurrently;
         experiment ids are reserved in pair order first, so the matrix
-        is identical to a serial sweep.  ``progress`` is called as
-        ``progress(done, total)`` after each pair completes.
+        is identical to a serial sweep — chunked process dispatch
+        included.  ``progress`` is called as ``progress(done, total)``
+        in completion order: after each pair under the in-process
+        executors, after each completed chunk under the process pool.
 
         A pair whose experiment exhausted its retries degrades to an
         explicit :attr:`PreferenceOutcome.UNDECIDED

@@ -123,7 +123,10 @@ def one_pass_peer_selection(
 
     The M single-peer trials are independent, so ``executor`` may run
     them concurrently; ids are reserved in peer order, keeping the
-    report identical to the serial protocol.
+    report identical to the serial protocol.  Under the process pool
+    the probes ship as chunked descriptors to the campaign's warm
+    workers (a testbed's ~100 peer probes cost a handful of dispatch
+    round trips, not one each).
 
     Probes that exhaust their retries are recorded as failures and
     skipped by the greedy selection; a failed final deployment leaves

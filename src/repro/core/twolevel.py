@@ -155,7 +155,11 @@ def discover_two_level(
     (used to emulate smaller anycast networks).  ``executor`` runs the
     independent pairwise experiments concurrently; experiment ids are
     reserved in serial order first, so results are identical to a
-    serial campaign.
+    serial campaign.  A single executor serves both discovery levels —
+    under the process pool the provider-level sweep and every
+    per-provider site sweep dispatch chunks onto the same warm forked
+    workers (the pool is keyed on the campaign spec, so no phase
+    re-forks it).
 
     ``progress`` is an optional resumable-state object (duck-typed:
     attributes ``provider_matrix`` and ``site_matrices``); phases whose

@@ -8,7 +8,10 @@ supplies the runtime machinery the drivers in :mod:`repro.core` and
 
 - :mod:`repro.runtime.executor` — serial, thread-pooled, and
   process-pooled campaign executors; experiment ids are reserved up
-  front so pooled runs are bit-identical to serial ones;
+  front so pooled runs are bit-identical to serial ones.  The process
+  executor dispatches *chunks* of tasks to a warm pool of forked
+  workers keyed on the campaign spec (one metrics/span merge per
+  chunk, one pool across campaign phases);
 - :mod:`repro.runtime.cache` — an exact-input LRU cache of converged
   BGP states, so redeployments of the same configuration skip
   re-propagation;
@@ -33,6 +36,7 @@ from repro.runtime.executor import (
     PooledExecutor,
     ProcessExecutor,
     SerialExecutor,
+    auto_chunk_size,
     make_executor,
 )
 from repro.runtime.faults import (
@@ -69,6 +73,7 @@ __all__ = [
     "SerialExecutor",
     "SessionResetError",
     "Timer",
+    "auto_chunk_size",
     "make_executor",
     "resolve_settings",
     "run_with_retry",

@@ -20,15 +20,25 @@ Three executors implement that contract:
 - :class:`ProcessExecutor` — a pool of forked worker processes, each
   owning an orchestrator rebuilt from the campaign's picklable spec
   (testbed, targets, seed, settings).  This sidesteps the GIL for
-  CPU-bound convergence work; each worker's counter, timer, histogram,
-  and trace-span movement is shipped back per task and merged into the
-  main registry and tracer, so ``--stats`` and ``--trace`` read the
-  same either way.  Worker-local convergence
-  caches warm independently (share them across processes with
+  CPU-bound convergence work.  Tasks are dispatched in *chunks*
+  (auto-sized from the task count and pool width, or pinned via
+  ``CampaignSettings.process_chunk_size`` / ``--chunk-size``): one
+  worker round trip carries a whole chunk's descriptors out and a
+  single merged counter/timer/histogram/span delta back, instead of
+  one pickling round trip per experiment.  The pool itself is keyed on
+  the campaign *spec*, not on orchestrator object identity, so the
+  discover → audit → repair phases of one campaign reuse one warm
+  pool of forked workers.  Worker-local convergence caches warm
+  independently (share them across processes with
   ``convergence_cache_path``).
 """
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    CancelledError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass
 from functools import partial
 from multiprocessing import get_context
@@ -131,10 +141,40 @@ class PooledExecutor(CampaignExecutor):
 
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             futures = [pool.submit(tracked, task) for task in tasks]
-            return [f.result() for f in futures]
+            try:
+                return [f.result() for f in futures]
+            except BaseException:
+                # Fail fast: cancel everything still queued so the
+                # pool-exit join doesn't run the rest of the campaign
+                # before the error surfaces.  Tasks already running
+                # finish (threads cannot be interrupted) and the pool
+                # joins only those.
+                for f in futures:
+                    f.cancel()
+                raise
 
 
 # -- process pool -----------------------------------------------------------
+
+
+#: With no explicit chunk size, aim for this many chunks per worker:
+#: enough slack that an unlucky worker stuck with the slowest chunk
+#: doesn't serialize the tail of the campaign, while still amortizing
+#: the per-dispatch pickling and metrics-merge round trip over several
+#: experiments.
+_CHUNKS_PER_WORKER = 4
+
+
+def auto_chunk_size(task_count: int, max_workers: int) -> int:
+    """The chunk size the process executor picks when none is pinned:
+    ``ceil(tasks / (workers * _CHUNKS_PER_WORKER))``, floored at 1.
+
+    Small dispatches degenerate to one task per chunk (identical to
+    the historical per-experiment dispatch); large campaigns ship
+    ``~4 * pool_width`` chunks regardless of experiment count."""
+    if task_count <= 0:
+        return 1
+    return max(1, -(-task_count // (max_workers * _CHUNKS_PER_WORKER)))
 
 
 @dataclass(frozen=True)
@@ -142,7 +182,10 @@ class _WorkerSpec:
     """Everything a forked worker needs to rebuild the campaign's
     orchestrator.  All fields must be picklable (the AS graph drops
     its derived topology tables on pickling and workers rebuild them
-    on first use)."""
+    on first use); under the preferred ``fork`` start method the spec
+    is inherited through the forked memory image at pool creation —
+    the shared topology crosses the process boundary exactly once per
+    worker, never per task."""
 
     testbed: Any
     targets: Any
@@ -181,47 +224,78 @@ def _snapshot_deltas(before: Dict, after: Dict) -> Tuple[Dict, Dict]:
     return counters, timers
 
 
-def _run_worker_task(task):
-    """Execute one descriptor in a worker process.
+def _run_worker_chunk(tasks):
+    """Execute a chunk of descriptors in a worker process.
 
-    Returns ``(result, counter_deltas, timer_deltas, histogram_deltas,
-    span_records)``; the main process merges the deltas so campaign
-    metrics and traces are complete even though each worker records
-    into its own registry and tracer.
+    Returns ``(results, counter_deltas, timer_deltas, histogram_deltas,
+    span_records)`` — the whole chunk's results in task order plus
+    *one* metrics/span delta covering all of them, so the main process
+    pays a single merge per chunk instead of one per experiment.
     """
     from repro.core.experiments import execute_experiment_task
 
     orchestrator = _WORKER_ORCHESTRATOR
-    orchestrator.adopt_reserved_ids(task.experiment_ids)
+    for task in tasks:
+        orchestrator.adopt_reserved_ids(task.experiment_ids)
     before = orchestrator.metrics.snapshot()
     histogram_marks = orchestrator.metrics.histogram_counts()
     span_mark = orchestrator.tracer.finished_count
-    result = execute_experiment_task(orchestrator, task)
+    results = [execute_experiment_task(orchestrator, task) for task in tasks]
     counters, timers = _snapshot_deltas(before, orchestrator.metrics.snapshot())
     histograms = orchestrator.metrics.histogram_values_since(histogram_marks)
     spans = orchestrator.tracer.export_finished_since(span_mark)
-    return result, counters, timers, histograms, spans
+    return results, counters, timers, histograms, spans
 
 
 class ProcessExecutor(CampaignExecutor):
     """Runs experiment descriptors on a pool of forked processes.
 
     The pool is created lazily on the first :meth:`run_experiments`
-    call (that is when the campaign spec is known) and persists across
-    campaign phases; call :meth:`close` — campaign drivers do — to
-    shut the workers down.
+    call (that is when the campaign spec is known) and is keyed on the
+    campaign *spec* — same testbed and target-set objects, equal seed
+    and settings — rather than on the orchestrator's object identity.
+    Campaign phases that rebuild their orchestrator from the same spec
+    (the repair loop does, once per round) therefore reuse the warm
+    pool instead of silently re-forking.  A re-fork happens only for a
+    genuinely different spec (e.g. a repair round with an escalated
+    retry budget, which workers must honor) or when a batch's
+    experiment ids regress below ids already dispatched — one
+    campaign's ids only grow across dispatches, so a regression means
+    a *new* campaign restarted its id space and the stale workers'
+    id-reuse guard must not see it.  Call :meth:`close` — or
+    ``AnyOpt.close()`` — to shut the workers down when the campaign
+    ends.
+
+    ``chunk_size`` pins how many descriptors each worker dispatch
+    carries; ``None`` auto-sizes via :func:`auto_chunk_size`.  Results
+    are returned in task order regardless of chunking; ``progress``
+    fires in completion order as chunks finish (the same contract as
+    :class:`PooledExecutor`), so one slow head-of-line chunk never
+    freezes the progress display.
 
     Uses the ``fork`` start method where available so workers inherit
-    the parent's imports cheaply; platforms without ``fork`` fall back
-    to the default start method.
+    the parent's imports (and the campaign spec) cheaply; platforms
+    without ``fork`` fall back to the default start method.
     """
 
-    def __init__(self, max_workers: int):
+    def __init__(self, max_workers: int, chunk_size: Optional[int] = None):
         if max_workers < 1:
             raise ConfigurationError("executor needs at least one worker")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError("chunk size must be >= 1 (or None for auto)")
         self.max_workers = max_workers
+        self.chunk_size = chunk_size
         self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_owner = None
+        #: The (testbed, targets, seed, settings) the live pool's
+        #: workers were forked with.
+        self._pool_spec: Optional[Tuple[Any, Any, Any, Any]] = None
+        #: Highest experiment id ever dispatched to the live pool.
+        #: Within one campaign ids only grow across dispatches (they
+        #: are reserved serially); an incoming batch whose ids regress
+        #: below this mark is a *new* campaign that restarted its id
+        #: space, and its ids would trip the workers' reuse guard — so
+        #: it gets a fresh fork instead.
+        self._pool_max_id = 0
 
     def run(
         self,
@@ -234,8 +308,23 @@ class ProcessExecutor(CampaignExecutor):
             "process boundary"
         )
 
-    def _pool_for(self, orchestrator) -> ProcessPoolExecutor:
-        if self._pool is not None and self._pool_owner is orchestrator:
+    def _spec_matches(self, orchestrator) -> bool:
+        if self._pool_spec is None:
+            return False
+        testbed, targets, seed, settings = self._pool_spec
+        return (
+            testbed is orchestrator.testbed
+            and targets is orchestrator.targets
+            and seed == orchestrator.seed
+            and settings == orchestrator.settings
+        )
+
+    def _pool_for(self, orchestrator, min_batch_id: int) -> ProcessPoolExecutor:
+        if (
+            self._pool is not None
+            and self._spec_matches(orchestrator)
+            and min_batch_id > self._pool_max_id
+        ):
             return self._pool
         self.close()
         spec = _WorkerSpec(
@@ -254,7 +343,12 @@ class ProcessExecutor(CampaignExecutor):
             initializer=_init_worker,
             initargs=(spec,),
         )
-        self._pool_owner = orchestrator
+        self._pool_spec = (
+            orchestrator.testbed,
+            orchestrator.targets,
+            orchestrator.seed,
+            orchestrator.settings,
+        )
         return self._pool
 
     def run_experiments(
@@ -265,32 +359,66 @@ class ProcessExecutor(CampaignExecutor):
     ) -> List:
         if not tasks:
             return []
-        pool = self._pool_for(orchestrator)
-        futures = [pool.submit(_run_worker_task, task) for task in tasks]
-        results: List = []
+        batch_ids = [i for task in tasks for i in task.experiment_ids]
+        pool = self._pool_for(orchestrator, min(batch_ids, default=1))
+        self._pool_max_id = max(self._pool_max_id, max(batch_ids, default=0))
+        size = (
+            self.chunk_size
+            if self.chunk_size is not None
+            else auto_chunk_size(len(tasks), self.max_workers)
+        )
+        chunks = [list(tasks[i : i + size]) for i in range(0, len(tasks), size)]
+        chunk_index = {
+            pool.submit(_run_worker_chunk, chunk): idx
+            for idx, chunk in enumerate(chunks)
+        }
+        slots: List[Optional[List]] = [None] * len(chunks)
         total = len(tasks)
-        for done, future in enumerate(futures, start=1):
-            result, counters, timers, histograms, spans = future.result()
+        done = 0
+        first_error: Optional[BaseException] = None
+        for future in as_completed(chunk_index):
+            try:
+                results, counters, timers, histograms, spans = future.result()
+            except CancelledError:
+                continue
+            except BaseException as exc:
+                # First failure wins; cancel everything still queued,
+                # but keep draining so chunks that already finished
+                # (or were mid-flight) still merge their metrics and
+                # spans before the error surfaces.
+                if first_error is None:
+                    first_error = exc
+                    for pending in chunk_index:
+                        pending.cancel()
+                continue
             orchestrator.metrics.merge_deltas(counters, timers, histograms)
             orchestrator.tracer.merge_spans(spans)
-            results.append(result)
-            if progress is not None:
+            slots[chunk_index[future]] = results
+            done += len(results)
+            if progress is not None and first_error is None:
                 progress(done, total)
-        return results
+        if first_error is not None:
+            raise first_error
+        return [result for chunk_results in slots for result in chunk_results]
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
-            self._pool_owner = None
+            self._pool_spec = None
+            self._pool_max_id = 0
 
 
 def make_executor(
-    parallelism: Optional[int], kind: str = "thread"
+    parallelism: Optional[int],
+    kind: str = "thread",
+    chunk_size: Optional[int] = None,
 ) -> CampaignExecutor:
     """The entry-point policy: ``None`` or ``1`` selects the serial
     path; anything larger a pool of that width — threads by default,
-    forked processes for ``kind="process"``."""
+    forked processes for ``kind="process"``.  ``chunk_size`` pins the
+    process executor's dispatch chunking (ignored for the other
+    kinds); ``None`` auto-sizes per dispatch."""
     if kind not in ("thread", "process"):
         raise ConfigurationError(
             f"executor kind must be 'thread' or 'process', got {kind!r}"
@@ -300,5 +428,5 @@ def make_executor(
     if parallelism is None or parallelism == 1:
         return SerialExecutor()
     if kind == "process":
-        return ProcessExecutor(parallelism)
+        return ProcessExecutor(parallelism, chunk_size=chunk_size)
     return PooledExecutor(parallelism)

@@ -46,6 +46,14 @@ class CampaignSettings:
             its own orchestrator rebuilt from the campaign spec).
             Results are bit-identical either way — experiment ids, not
             workers, key every noise stream.
+        process_chunk_size: how many experiment tasks the process
+            executor ships to a worker per dispatch.  ``None`` (the
+            default) auto-sizes chunks from the task count and pool
+            width; explicit values trade scheduling granularity
+            (smaller chunks balance better) against per-dispatch
+            pickling and metrics-merge overhead (larger chunks
+            amortize better).  Chunking never changes results — only
+            how many main-process round trips a campaign costs.
         convergence_cache: reuse converged BGP state across identical
             deployments (bit-identical; see :mod:`repro.runtime.cache`).
         convergence_cache_size: LRU capacity of that cache.
@@ -77,6 +85,7 @@ class CampaignSettings:
     bgp_delay_jitter_ms: float = 20.0
     parallelism: int = 1
     executor: str = "thread"
+    process_chunk_size: Optional[int] = None
     convergence_cache: bool = True
     convergence_cache_size: int = 256
     convergence_cache_path: Optional[str] = None
@@ -102,6 +111,8 @@ class CampaignSettings:
             raise ConfigurationError(
                 f"executor must be 'thread' or 'process', got {self.executor!r}"
             )
+        if self.process_chunk_size is not None and self.process_chunk_size < 1:
+            raise ConfigurationError("process_chunk_size must be >= 1 (or None)")
         if self.convergence_cache_size < 1:
             raise ConfigurationError("convergence_cache_size must be >= 1")
         for knob in (

@@ -43,9 +43,18 @@ FAULTY = CampaignSettings.noiseless(
     retry_max_attempts=2,
 )
 
-#: (label, settings executor kind, parallelism) — serial, thread pool,
-#: process pool.
-EXECUTORS = (("serial", "thread", 1), ("thread", "thread", 3), ("process", "process", 2))
+#: (label, settings executor kind, parallelism, process chunk size) —
+#: serial, thread pool, and the process pool at every chunking shape:
+#: auto-sized, one task per dispatch, a partial final chunk, and
+#: everything in one chunk.
+EXECUTORS = (
+    ("serial", "thread", 1, None),
+    ("thread", "thread", 3, None),
+    ("process", "process", 2, None),
+    ("process-chunk1", "process", 2, 1),
+    ("process-chunk3", "process", 2, 3),
+    ("process-chunk-all", "process", 2, 10_000),
+)
 
 
 def model_bytes(model) -> str:
@@ -324,34 +333,38 @@ class TestPlanRepairs:
 
 @pytest.fixture(scope="module")
 def repair_runs(testbed, targets):
-    """Discover + inject + audit + repair once per executor kind."""
+    """Discover + inject + audit + repair once per executor shape.
+
+    The discover → audit → repair sequence runs on ONE AnyOpt per
+    shape, which is exactly the warm-pool reuse path: the process
+    executors keep their forked workers across all three phases."""
     order = tuple(testbed.site_ids())
     runs = {}
-    for label, kind, parallelism in EXECUTORS:
-        anyopt = AnyOpt(
+    for label, kind, parallelism, chunk in EXECUTORS:
+        with AnyOpt(
             testbed,
             targets=targets,
             seed=SEED,
-            settings=NOISELESS.replace(executor=kind),
-        )
-        model = anyopt.discover(parallelism=parallelism)
-        pre = count_predictable(model, targets, order)
-        full_campaign = model.experiments_used
-        inject_defects(model, testbed, targets)
-        report = anyopt.audit(model)
-        repair = anyopt.repair(
-            model, report=report, max_rounds=2, parallelism=parallelism
-        )
-        runs[label] = {
-            "pre": pre,
-            "post": count_predictable(model, targets, order),
-            "full": full_campaign,
-            "repair": repair,
-            "model": model_bytes(model),
-            "transcript": json.dumps(repair.transcript),
-            "final": json.dumps(repair.final_report.to_dict(), sort_keys=True),
-            "counters": anyopt.metrics.snapshot()["counters"],
-        }
+            settings=NOISELESS.replace(executor=kind, process_chunk_size=chunk),
+        ) as anyopt:
+            model = anyopt.discover(parallelism=parallelism)
+            pre = count_predictable(model, targets, order)
+            full_campaign = model.experiments_used
+            inject_defects(model, testbed, targets)
+            report = anyopt.audit(model)
+            repair = anyopt.repair(
+                model, report=report, max_rounds=2, parallelism=parallelism
+            )
+            runs[label] = {
+                "pre": pre,
+                "post": count_predictable(model, targets, order),
+                "full": full_campaign,
+                "repair": repair,
+                "model": model_bytes(model),
+                "transcript": json.dumps(repair.transcript),
+                "final": json.dumps(repair.final_report.to_dict(), sort_keys=True),
+                "counters": anyopt.metrics.snapshot()["counters"],
+            }
     return runs
 
 
@@ -365,14 +378,11 @@ class TestRepairAcceptance:
             assert 0 < run["repair"].experiments_used < run["full"]
 
     def test_byte_identical_across_executors(self, repair_runs):
-        serial, thread, process = (
-            repair_runs["serial"],
-            repair_runs["thread"],
-            repair_runs["process"],
-        )
-        assert serial["model"] == thread["model"] == process["model"]
-        assert serial["transcript"] == thread["transcript"] == process["transcript"]
-        assert serial["final"] == thread["final"] == process["final"]
+        serial = repair_runs["serial"]
+        for label, run in repair_runs.items():
+            assert run["model"] == serial["model"], label
+            assert run["transcript"] == serial["transcript"], label
+            assert run["final"] == serial["final"], label
 
     def test_transcript_entries_are_structured(self, repair_runs):
         transcript = repair_runs["serial"]["repair"].transcript
@@ -424,35 +434,41 @@ class TestRepairBudget:
 
 
 class TestFaultyDeterminism:
+    #: Serial plus the process pool at its extreme chunk shapes — the
+    #: fault streams must be chunking-blind too.
+    FAULTY_LABELS = ("serial", "process", "process-chunk1", "process-chunk-all")
+
     @pytest.fixture(scope="class")
     def faulty_runs(self, testbed, targets):
+        selected = [e for e in EXECUTORS if e[0] in self.FAULTY_LABELS]
         runs = {}
-        for label, kind, parallelism in (EXECUTORS[0], EXECUTORS[2]):
-            anyopt = AnyOpt(
+        for label, kind, parallelism, chunk in selected:
+            with AnyOpt(
                 testbed,
                 targets=targets,
                 seed=SEED,
-                settings=FAULTY.replace(executor=kind),
-            )
-            model = anyopt.discover(parallelism=parallelism)
-            inject_defects(model, testbed, targets)
-            report = anyopt.audit(model)
-            repair = anyopt.repair(
-                model, report=report, max_rounds=2, parallelism=parallelism
-            )
-            runs[label] = {
-                "model": model_bytes(model),
-                "transcript": json.dumps(repair.transcript),
-                "final": json.dumps(repair.final_report.to_dict(), sort_keys=True),
-                "repair": repair,
-            }
+                settings=FAULTY.replace(executor=kind, process_chunk_size=chunk),
+            ) as anyopt:
+                model = anyopt.discover(parallelism=parallelism)
+                inject_defects(model, testbed, targets)
+                report = anyopt.audit(model)
+                repair = anyopt.repair(
+                    model, report=report, max_rounds=2, parallelism=parallelism
+                )
+                runs[label] = {
+                    "model": model_bytes(model),
+                    "transcript": json.dumps(repair.transcript),
+                    "final": json.dumps(repair.final_report.to_dict(), sort_keys=True),
+                    "repair": repair,
+                }
         return runs
 
     def test_identical_under_fault_injection(self, faulty_runs):
-        serial, process = faulty_runs["serial"], faulty_runs["process"]
-        assert serial["model"] == process["model"]
-        assert serial["transcript"] == process["transcript"]
-        assert serial["final"] == process["final"]
+        serial = faulty_runs["serial"]
+        for label, run in faulty_runs.items():
+            assert run["model"] == serial["model"], label
+            assert run["transcript"] == serial["transcript"], label
+            assert run["final"] == serial["final"], label
 
     def test_failed_repairs_carry_fault_accounting(self, faulty_runs):
         failed = [

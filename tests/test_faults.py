@@ -193,6 +193,63 @@ class TestDegradation:
         process_counters = process_orch.metrics.snapshot()["counters"]
         assert serial_counters == process_counters
 
+    @pytest.mark.parametrize(
+        "chunk_size", [1, 3, 10_000], ids=["one", "three", "all"]
+    )
+    def test_chunked_process_sweep_matches_serial_under_faults(
+        self, testbed, targets, chunk_size
+    ):
+        # Chunk boundaries must not leak into the fault streams: the
+        # injected faults, retries, failures, and merged counters are
+        # keyed by experiment id, never by which dispatch carried the
+        # experiment.
+        sites = testbed.site_ids()[:4]
+        serial_orch = Orchestrator(testbed, targets, seed=SEED, settings=FAULTY)
+        chunked_orch = Orchestrator(testbed, targets, seed=SEED, settings=FAULTY)
+        serial = ExperimentRunner(serial_orch).pairwise_sweep(sites)
+        executor = ProcessExecutor(2, chunk_size=chunk_size)
+        try:
+            chunked = ExperimentRunner(chunked_orch).pairwise_sweep(
+                sites, executor=executor
+            )
+        finally:
+            executor.close()
+        assert serial == chunked
+        assert serial_orch.experiment_count == chunked_orch.experiment_count
+        assert serial_orch.failures == chunked_orch.failures
+        assert (
+            serial_orch.metrics.snapshot()["counters"]
+            == chunked_orch.metrics.snapshot()["counters"]
+        )
+
+    def test_worker_crash_merges_partial_metrics_and_fails_fast(
+        self, testbed, targets
+    ):
+        # A non-measurement error in a worker (here: a corrupted task
+        # descriptor) must fail the campaign promptly — but the chunks
+        # that already completed still merge their metrics first, so
+        # the post-mortem counters reflect the work actually done.
+        import dataclasses
+
+        orch = Orchestrator(testbed, targets, seed=SEED)
+        runner = ExperimentRunner(orch)
+        sites = testbed.site_ids()[:5]
+        pairs = [(a, b) for i, a in enumerate(sites) for b in sites[i + 1:]]
+        tasks = runner.pairwise_tasks(pairs)  # 10 tasks
+        tasks[1] = dataclasses.replace(tasks[1], kind="explode")
+        executor = ProcessExecutor(1, chunk_size=1)
+        try:
+            with pytest.raises(ConfigurationError, match="explode"):
+                executor.run_experiments(orch, tasks)
+        finally:
+            executor.close()
+        counters = orch.metrics.snapshot()["counters"]
+        # The first chunk completed before the crash and its delta
+        # survived the failure...
+        assert counters.get("experiments", 0) >= 1
+        # ...and the cancellation kept the tail from running.
+        assert counters.get("experiments", 0) < len(tasks) - 1
+
     def test_exhausted_retries_become_undecided_cells(self, testbed, targets):
         orch = Orchestrator(testbed, targets, seed=SEED, settings=ALWAYS_FAILING)
         sites = testbed.site_ids()[:3]

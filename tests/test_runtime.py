@@ -6,6 +6,7 @@ experiment ids — not completion times — key every noise stream.
 """
 
 import threading
+import time
 
 import pytest
 
@@ -20,6 +21,7 @@ from repro.runtime import (
     PooledExecutor,
     ProcessExecutor,
     SerialExecutor,
+    auto_chunk_size,
     make_executor,
     resolve_settings,
 )
@@ -80,6 +82,126 @@ def test_executors_report_progress():
         assert sorted(done for done, _ in calls) == list(range(1, 8))
 
 
+def test_pooled_executor_cancels_pending_on_failure():
+    # One worker, so the queue order is deterministic: once a task
+    # raises, everything still queued behind it must be cancelled —
+    # not silently run to completion before the error surfaces.  Each
+    # task sleeps so the worker cannot drain the whole queue before
+    # the main thread observes the failure and cancels.
+    ran = []
+
+    def ok(i):
+        time.sleep(0.05)
+        ran.append(i)
+        return i
+
+    def boom():
+        ran.append("boom")
+        raise ValueError("boom")
+
+    tasks = [lambda: ok(0), boom] + [lambda i=i: ok(i) for i in range(1, 12)]
+    with pytest.raises(ValueError, match="boom"):
+        PooledExecutor(1).run(tasks)
+    assert "boom" in ran
+    # The failing task and its predecessor ran; at most a couple more
+    # can have started before the cancellation landed.  Without the
+    # cancel, all 13 would run.
+    assert len(ran) <= 5
+
+
+def test_auto_chunk_size_policy():
+    assert auto_chunk_size(0, 4) == 1
+    # Small dispatches degenerate to per-task chunks.
+    assert auto_chunk_size(6, 4) == 1
+    assert auto_chunk_size(16, 4) == 1
+    # Large campaigns amortize: ~4 chunks per worker.
+    assert auto_chunk_size(160, 4) == 10
+    assert auto_chunk_size(161, 4) == 11  # ceiling, never a lost task
+    assert auto_chunk_size(1000, 2) == 125
+
+
+def test_make_executor_chunk_size_passthrough():
+    process = make_executor(4, kind="process", chunk_size=5)
+    assert isinstance(process, ProcessExecutor)
+    assert process.chunk_size == 5
+    process.close()
+    with pytest.raises(ConfigurationError):
+        ProcessExecutor(2, chunk_size=0)
+
+
+def test_process_pool_reused_across_equal_specs(testbed, targets):
+    # The pool is keyed on the campaign spec, not the orchestrator
+    # object: a rebuilt orchestrator with the same spec that continues
+    # the campaign's id space (what audit and the repair rounds do)
+    # keeps the warm forked workers.
+    sites = testbed.site_ids()[:3]
+    executor = ProcessExecutor(2)
+    try:
+        orch_a = Orchestrator(testbed, targets, seed=SEED)
+        ExperimentRunner(orch_a).pairwise_sweep(sites, executor=executor)
+        pool = executor._pool
+        assert pool is not None
+
+        orch_b = Orchestrator(testbed, targets, seed=SEED)
+        orch_b.restore_experiment_state(orch_a.experiment_count)
+        ExperimentRunner(orch_b).pairwise_sweep(sites, executor=executor)
+        assert executor._pool is pool
+
+        # A genuinely different spec (workers must honor the new retry
+        # budget) forces a re-fork.
+        orch_c = Orchestrator(
+            testbed,
+            targets,
+            seed=SEED,
+            settings=CampaignSettings(retry_max_attempts=5),
+        )
+        orch_c.restore_experiment_state(orch_b.experiment_count)
+        ExperimentRunner(orch_c).pairwise_sweep(sites, executor=executor)
+        assert executor._pool is not pool
+    finally:
+        executor.close()
+
+
+def test_process_pool_reforks_when_id_space_restarts(testbed, targets):
+    # A same-spec orchestrator whose experiment ids start over is a
+    # NEW campaign: its ids would collide with the warm workers'
+    # id-reuse guard, so the executor must re-fork — and the fresh
+    # campaign must still produce the serial-identical matrix.
+    sites = testbed.site_ids()[:3]
+    serial = ExperimentRunner(
+        Orchestrator(testbed, targets, seed=SEED)
+    ).pairwise_sweep(sites)
+    executor = ProcessExecutor(2)
+    try:
+        orch_a = Orchestrator(testbed, targets, seed=SEED)
+        first = ExperimentRunner(orch_a).pairwise_sweep(sites, executor=executor)
+        pool = executor._pool
+        orch_b = Orchestrator(testbed, targets, seed=SEED)  # ids restart at 1
+        second = ExperimentRunner(orch_b).pairwise_sweep(sites, executor=executor)
+        assert executor._pool is not pool
+        assert first == serial
+        assert second == serial
+    finally:
+        executor.close()
+
+
+def test_process_executor_reports_completion_order_progress(testbed, targets):
+    # Same contract as PooledExecutor: progress fires as chunks
+    # complete, cumulatively, and reaches the exact total.
+    orch = Orchestrator(testbed, targets, seed=SEED)
+    calls = []
+    executor = ProcessExecutor(2, chunk_size=1)
+    try:
+        ExperimentRunner(orch).pairwise_sweep(
+            testbed.site_ids()[:4],  # 6 pairs
+            executor=executor,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+    finally:
+        executor.close()
+    assert calls == [(i, 6) for i in range(1, 7)]
+
+
 # --- settings and the deprecation shim --------------------------------------
 
 
@@ -102,6 +224,8 @@ def test_settings_validation():
         CampaignSettings(retry_backoff_factor=0.5)
     with pytest.raises(ConfigurationError):
         CampaignSettings(executor="fibers")
+    with pytest.raises(ConfigurationError):
+        CampaignSettings(process_chunk_size=0)
     assert not CampaignSettings().faults_enabled
     assert CampaignSettings(fault_session_reset_prob=0.2).faults_enabled
 
@@ -186,6 +310,47 @@ def test_discover_parallel_matches_serial(testbed, targets, anyopt_model):
     assert pooled.experiments_used == anyopt_model.experiments_used
     assert pooled.twolevel.provider_matrix == anyopt_model.twolevel.provider_matrix
     assert pooled.twolevel.site_matrices == anyopt_model.twolevel.site_matrices
+
+
+@pytest.mark.parametrize("chunk_size", [1, 3, 10_000], ids=["one", "three", "all"])
+def test_chunked_process_sweep_matches_serial(testbed, targets, chunk_size):
+    # Chunk boundaries must be invisible: one task per dispatch, a
+    # partial final chunk, and everything-in-one-chunk all reproduce
+    # the serial matrix and counters exactly.
+    sites = testbed.site_ids()[:4]
+    serial_orch = Orchestrator(testbed, targets, seed=SEED)
+    chunked_orch = Orchestrator(testbed, targets, seed=SEED)
+    serial = ExperimentRunner(serial_orch).pairwise_sweep(sites)
+    executor = ProcessExecutor(2, chunk_size=chunk_size)
+    try:
+        chunked = ExperimentRunner(chunked_orch).pairwise_sweep(
+            sites, executor=executor
+        )
+    finally:
+        executor.close()
+    assert serial == chunked
+    assert serial_orch.experiment_count == chunked_orch.experiment_count
+    assert (
+        serial_orch.metrics.snapshot()["counters"]
+        == chunked_orch.metrics.snapshot()["counters"]
+    )
+
+
+@pytest.mark.parametrize("chunk_size", [1, 3, None], ids=["one", "three", "auto"])
+def test_discover_chunked_process_matches_serial(
+    testbed, targets, anyopt_model, chunk_size
+):
+    """A chunked process-pool campaign reproduces the serial model
+    exactly, whatever the chunk size."""
+    settings = CampaignSettings(
+        parallelism=2, executor="process", process_chunk_size=chunk_size
+    )
+    with AnyOpt(testbed, targets=targets, seed=SEED, settings=settings) as anyopt:
+        model = anyopt.discover()
+    assert model.rtt_matrix.values == anyopt_model.rtt_matrix.values
+    assert model.experiments_used == anyopt_model.experiments_used
+    assert model.twolevel.provider_matrix == anyopt_model.twolevel.provider_matrix
+    assert model.twolevel.site_matrices == anyopt_model.twolevel.site_matrices
 
 
 def test_incorporate_peers_parallel_matches_serial(testbed, targets):
