@@ -23,6 +23,12 @@ root, so regressions show up in review diffs):
 - **obs**: the same convergence workload with tracing and histograms
   enabled versus disabled — the observability tax on the fast path
   (``overhead_pct``; the budget is under 10%).
+- **scale**: internet-sized sweep topologies (1k/5k/10k ASes from
+  :func:`generate_scale_internet`): the delta engine (wavefront
+  replay + stub aggregation, the default) versus the full engine on
+  the same workloads, asserting bit-identical converged states at
+  every size before timing and recording the aggregation ratio and
+  touched-AS fraction that explain the speedup.
 
 Run it from the repo root::
 
@@ -53,7 +59,11 @@ from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.settings import CampaignSettings
 from repro.topology import TestbedParams, TopologyParams, build_paper_testbed
 from repro.topology.astopo import Relationship
-from repro.topology.generator import generate_internet
+from repro.topology.generator import (
+    ScaleSweepParams,
+    generate_internet,
+    generate_scale_internet,
+)
 
 SEED = 7
 POOL_WIDTH = 4
@@ -143,6 +153,70 @@ def bench_obs(quick: bool) -> dict:
         "plain_runs_per_s": round(batch / plain_best, 1),
         "traced_runs_per_s": round(batch / traced_best, 1),
         "overhead_pct": round(100 * (traced_best / plain_best - 1.0), 1),
+    }
+
+
+def bench_scale(quick: bool) -> dict:
+    """Delta versus full engine across internet-sized topologies.
+
+    Bit-identity is asserted (states, convergence time, message count,
+    enabled sites) on shared workloads before anything is timed, so a
+    divergence fails the benchmark instead of poisoning the baseline.
+    """
+    sizes = [1000] if quick else [1000, 5000, 10000]
+    trials = 2 if quick else 3
+    points = []
+    for n in sizes:
+        internet = generate_scale_internet(ScaleSweepParams(n_ases=n), seed=SEED)
+        graph = internet.graph
+        workloads = _engine_workloads(internet)[:15]
+        delta = BGPEngine(internet)
+        full = BGPEngine(internet, mode="full")
+
+        for w in workloads[: 4 if quick else 8]:
+            a = delta.run(w)
+            b = full.run(w)
+            if not (
+                a.states == b.states
+                and a.convergence_time_ms == b.convergence_time_ms
+                and a.message_count == b.message_count
+                and a.enabled_sites == b.enabled_sites
+            ):
+                raise AssertionError(
+                    f"delta engine diverged from full engine at {n} ASes"
+                )
+
+        # The full engine replays the whole cascade per run, so it gets
+        # a small, separately-sized batch; the delta engine's batch is
+        # large enough for a stable per-run figure.
+        delta_runs = 10 if quick else 30
+        full_runs = 2 if quick else 3
+        _time_batch(delta, workloads, 2)
+        _time_batch(full, workloads, 1)
+        delta_best = full_best = float("inf")
+        for _ in range(trials):
+            delta_best = min(delta_best, _time_batch(delta, workloads, delta_runs))
+            full_best = min(full_best, _time_batch(full, workloads, full_runs))
+
+        stats = delta._delta.last_run_stats
+        tables = graph.tables()
+        points.append({
+            "n_ases": len(graph),
+            "links": len(list(graph.links())),
+            "aggregation_ratio": round(len(tables.stub_providers) / len(graph), 3),
+            "touched_fraction": round(stats["touched"] / len(graph), 4),
+            "delta_events_per_run": stats["events"],
+            "delta_runs_per_s": round(delta_runs / delta_best, 1),
+            "full_runs_per_s": round(full_runs / full_best, 2),
+            "delta_speedup": round(
+                (full_best / full_runs) / (delta_best / delta_runs), 1
+            ),
+        })
+    return {
+        "workload": "2-site pairwise configs over tier-2 hosts, scale-sweep topologies",
+        "trials": trials,
+        "identical": True,  # asserted above for every size
+        "points": points,
     }
 
 
@@ -252,6 +326,14 @@ def main(argv=None) -> int:
           f"traced {obs['traced_runs_per_s']} runs/s "
           f"-> {obs['overhead_pct']}% overhead")
 
+    scale = bench_scale(args.quick)
+    for point in scale["points"]:
+        print(f"scale[{point['n_ases']} ASes]: delta {point['delta_runs_per_s']} "
+              f"runs/s, full {point['full_runs_per_s']} runs/s "
+              f"-> {point['delta_speedup']}x "
+              f"(agg {point['aggregation_ratio']:.0%}, "
+              f"touched {point['touched_fraction']:.1%})")
+
     stubs = 100 if args.quick else 150
     tier2 = 16 if args.quick else 24
     testbed = build_paper_testbed(
@@ -276,7 +358,7 @@ def main(argv=None) -> int:
 
     payload = {
         "format": "anyopt-bench-engine",
-        "version": 2,
+        "version": 3,
         "quick": args.quick,
         "host": {
             "python": platform.python_version(),
@@ -285,6 +367,7 @@ def main(argv=None) -> int:
         },
         "engine": engine,
         "obs": obs,
+        "scale": scale,
         "cache": cache,
         "campaign": campaign,
     }

@@ -52,6 +52,12 @@ def evaluate(routes: Sequence[Route], node: AS) -> Tuple[Optional[Route], List[R
     :func:`best_route` / :func:`multipath_set` calls pay.  This is the
     speaker's per-message hot path.
     """
+    if len(routes) == 1:
+        # Single candidate: the scan and every tie-break are no-ops.
+        # Stubs and injection hosts — most of a large topology — take
+        # this exit on every delivery.
+        only = routes[0] if isinstance(routes, (list, tuple)) else next(iter(routes))
+        return only, [only]
     best_key = None
     tied: List[Route] = []
     for r in routes:

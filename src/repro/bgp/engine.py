@@ -24,13 +24,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.bgp.delta import DeltaConverger
 from repro.bgp.messages import SitePop
 from repro.bgp.rib import RouterState
 from repro.bgp.router import BGPSpeaker
 from repro.obs.log import get_logger
 from repro.topology.astopo import Relationship
 from repro.topology.generator import Internet
-from repro.util.errors import ReproError
+from repro.util.errors import ConvergenceBudgetError, ReproError
 from repro.util.rng import derive_rng
 
 logger = get_logger("engine")
@@ -42,7 +43,15 @@ ANYCAST_ORIGIN_ASN = 65000
 #: authors control, serving no clients).
 DEFAULT_ANYCAST_PREFIX = "192.0.2.0/24"
 
+#: Floor of the auto-scaled per-run event budget (the historical hard
+#: cap; topologies large enough to need more get more — see
+#: :meth:`BGPEngine.event_budget`).
 _MAX_EVENTS = 2_000_000
+
+#: Auto-budget headroom per AS: generously above the events-per-AS any
+#: converging Gao-Rexford run produces (the tracked 174-AS workload
+#: averages ~4 events per AS per run).
+_EVENTS_PER_AS = 400
 
 
 @dataclass(frozen=True)
@@ -115,6 +124,13 @@ class ConvergedState:
         except KeyError:
             raise ReproError(f"no BGP state for AS {asn}") from None
 
+    def columnar(self, tables):
+        """A :class:`~repro.bgp.rib.ColumnarRib` view of this state
+        (built per call; bulk consumers should hold on to it)."""
+        from repro.bgp.rib import ColumnarRib
+
+        return ColumnarRib.from_converged(self, tables)
+
 
 class BGPEngine:
     """Runs anycast announcements over an :class:`Internet` to
@@ -134,6 +150,19 @@ class BGPEngine:
     speaker set, so one engine remains safe to share across executor
     threads.  ``reuse_state=False`` rebuilds everything per run (the
     pre-pool behavior); both paths produce identical results.
+
+    ``mode`` selects how the pooled path converges: ``"delta"`` (the
+    default) tracks the touched-AS set, restores only it between runs,
+    and — with ``aggregate_stubs`` — collapses pure-stub ASes (every
+    session with a provider, any homing degree) out of the event heap
+    entirely (see :mod:`repro.bgp.delta`);
+    ``"full"`` keeps a live speaker per AS.  All three paths (delta,
+    full, and the ``reuse_state=False`` reference) are bit-identical.
+
+    ``max_events`` caps the events one run may process; ``None``
+    auto-scales the cap with topology size.  Exhausting it raises
+    :class:`~repro.util.errors.ConvergenceBudgetError` with an event
+    census.
     """
 
     def __init__(
@@ -145,7 +174,14 @@ class BGPEngine:
         metrics=None,
         tracer=None,
         reuse_state: bool = True,
+        mode: str = "delta",
+        aggregate_stubs: bool = True,
+        max_events: Optional[int] = None,
     ):
+        if mode not in ("delta", "full"):
+            raise ReproError(f"engine mode must be 'delta' or 'full', got {mode!r}")
+        if max_events is not None and max_events < 1:
+            raise ReproError("max_events must be >= 1 (or None for auto)")
         self.internet = internet
         self.origin_asn = origin_asn
         self.prefix = prefix
@@ -153,12 +189,24 @@ class BGPEngine:
         self.metrics = metrics
         self.tracer = tracer
         self.reuse_state = reuse_state
+        self.mode = mode
+        self.aggregate_stubs = aggregate_stubs
+        self.max_events = max_events
         self._pool_lock = threading.Lock()
         self._pool: List[Dict[int, BGPSpeaker]] = []
         self._pool_tables = None
         # Pristine states handed out for ASes a run never gave a route
         # to; shared across results, never given to a speaker.
         self._pristine: Dict[int, RouterState] = {}
+        self._delta = DeltaConverger(self) if mode == "delta" else None
+
+    def event_budget(self) -> int:
+        """The per-run event cap: explicit ``max_events``, or a budget
+        scaling with topology size (never below the historical 2M
+        floor, so small topologies keep their old headroom)."""
+        if self.max_events is not None:
+            return self.max_events
+        return max(_MAX_EVENTS, _EVENTS_PER_AS * len(self.internet.graph))
 
     # -- speaker pool ---------------------------------------------------
 
@@ -238,10 +286,12 @@ class BGPEngine:
         outcome varies run to run — exactly why the paper's naive
         no-order experiments produce cyclic preferences (S5.1).
 
-        Raises :class:`ReproError` if an injection references an AS not
-        in the topology or if the event budget is exhausted (which
-        would indicate a routing oscillation — impossible under
-        Gao-Rexford policies, so treated as a bug).
+        Raises :class:`ReproError` if an injection or withdrawal
+        references an AS not in the topology, and
+        :class:`~repro.util.errors.ConvergenceBudgetError` (with an
+        event census) if the event budget is exhausted — which would
+        indicate a routing oscillation, impossible under Gao-Rexford
+        policies, so treated as a bug.
         """
         graph = self.internet.graph
         if not injections:
@@ -249,6 +299,9 @@ class BGPEngine:
         for inj in injections:
             if inj.host_asn not in graph:
                 raise ReproError(f"injection references unknown AS {inj.host_asn}")
+        for wd in withdrawals:
+            if wd.host_asn not in graph:
+                raise ReproError(f"withdrawal references unknown AS {wd.host_asn}")
 
         start_unix = time.time()
         start = time.perf_counter()
@@ -278,6 +331,70 @@ class BGPEngine:
                     )
                 return cached
 
+        jitter: Dict[Tuple[int, int], float] = {}
+        if delay_jitter_ms > 0.0:
+            rng = derive_rng(self.internet.seed, "delay-jitter", delay_nonce)
+            for link in graph.links():
+                jitter[(link.a, link.b)] = rng.expovariate(1.0 / delay_jitter_ms)
+                jitter[(link.b, link.a)] = rng.expovariate(1.0 / delay_jitter_ms)
+
+        budget = self.event_budget()
+        if self.reuse_state and self._delta is not None:
+            states, last_time, messages, events = self._delta.converge(
+                injections, igp_overlay, delay_jitter_ms, jitter, withdrawals, budget
+            )
+        else:
+            states, last_time, messages, events = self._run_full(
+                injections, igp_overlay, jitter, withdrawals, budget
+            )
+
+        elapsed = time.perf_counter() - start
+        if self.metrics is not None:
+            self.metrics.counter("convergence_runs").increment()
+            self.metrics.counter("convergence_messages").increment(messages)
+            self.metrics.counter("convergence_events").increment(events)
+            self.metrics.histogram("convergence_cold_s").observe(elapsed)
+            self.metrics.histogram("convergence_events_per_run").observe(events)
+        if self.tracer is not None:
+            self.tracer.record(
+                "converge",
+                attributes={
+                    "cache_hit": False if self.cache is not None else None,
+                    "messages": messages,
+                    "events": events,
+                    "convergence_time_ms": last_time,
+                },
+                start_unix=start_unix,
+                duration_s=elapsed,
+            )
+
+        withdrawn = {(wd.host_asn, wd.site_id) for wd in withdrawals}
+        state = ConvergedState(
+            prefix=self.prefix,
+            origin_asn=self.origin_asn,
+            states=states,
+            injections=tuple(injections),
+            convergence_time_ms=last_time,
+            message_count=messages,
+            enabled_sites=tuple(sorted({
+                inj.site_id
+                for inj in injections
+                if (inj.host_asn, inj.site_id) not in withdrawn
+            })),
+        )
+        if cache_key is not None:
+            self.cache.store(cache_key, state)
+        return state
+
+    def _run_full(self, injections, igp_overlay, jitter, withdrawals, budget):
+        """The full event loop: one live speaker per AS.
+
+        Serves both the pooled ``mode="full"`` path (shared topology
+        tables, speaker pool) and — with ``reuse_state=False`` — the
+        build-everything-per-run reference every fast path is
+        bit-compared against.
+        """
+        graph = self.internet.graph
         if self.reuse_state:
             tables = graph.tables()
             speakers = self._checkout_speakers(tables, igp_overlay)
@@ -290,13 +407,6 @@ class BGPEngine:
             }
             prop_delay = None
 
-        jitter: Dict[Tuple[int, int], float] = {}
-        if delay_jitter_ms > 0.0:
-            rng = derive_rng(self.internet.seed, "delay-jitter", delay_nonce)
-            for link in graph.links():
-                jitter[(link.a, link.b)] = rng.expovariate(1.0 / delay_jitter_ms)
-                jitter[(link.b, link.a)] = rng.expovariate(1.0 / delay_jitter_ms)
-
         counter = itertools.count()
         heap: List[Tuple[float, int, str, int, int, Optional[Tuple[int, ...]], int]] = []
 
@@ -306,8 +416,6 @@ class BGPEngine:
         for inj in injections:
             schedule(inj.announce_time_ms, "inject", inj.host_asn, inj.site_id, None)
         for wd in withdrawals:
-            if wd.host_asn not in graph:
-                raise ReproError(f"withdrawal references unknown AS {wd.host_asn}")
             schedule(wd.withdraw_time_ms, "uninject", wd.host_asn, wd.site_id, None)
         inj_by_key = {(inj.host_asn, inj.site_id): inj for inj in injections}
 
@@ -321,14 +429,27 @@ class BGPEngine:
         while heap:
             time_ms, _, kind, receiver, sender, as_path, med = heappop(heap)
             events += 1
-            if events > _MAX_EVENTS:
+            if events > budget:
+                # The census scan is failure-path-only, so the hot loop
+                # does not pay for touched-AS bookkeeping in this mode.
+                touched = sum(
+                    1
+                    for sp in speakers.values()
+                    if sp.state.adj_rib_in
+                    or sp.state.advertised_to
+                    or sp.state.best is not None
+                )
                 logger.error(
                     "BGP event budget exhausted",
-                    extra={"fields": {"events": events, "messages": messages}},
+                    extra={"fields": {
+                        "events": events,
+                        "budget": budget,
+                        "messages": messages,
+                        "ases_touched": touched,
+                        "virtual_time_ms": time_ms,
+                    }},
                 )
-                raise ReproError(
-                    "BGP event budget exhausted; the configuration did not converge"
-                )
+                raise ConvergenceBudgetError(budget, events, touched, time_ms)
             # The heap pops in nondecreasing time order, so the last
             # event's timestamp is the convergence time.
             last_time = time_ms
@@ -375,46 +496,9 @@ class BGPEngine:
                     else:
                         schedule(arrive, "announce", update.neighbor, receiver, update.as_path, update.med)
 
-        elapsed = time.perf_counter() - start
-        if self.metrics is not None:
-            self.metrics.counter("convergence_runs").increment()
-            self.metrics.counter("convergence_messages").increment(messages)
-            self.metrics.counter("convergence_events").increment(events)
-            self.metrics.histogram("convergence_cold_s").observe(elapsed)
-            self.metrics.histogram("convergence_events_per_run").observe(events)
-        if self.tracer is not None:
-            self.tracer.record(
-                "converge",
-                attributes={
-                    "cache_hit": False if self.cache is not None else None,
-                    "messages": messages,
-                    "events": events,
-                    "convergence_time_ms": last_time,
-                },
-                start_unix=start_unix,
-                duration_s=elapsed,
-            )
-
         if self.reuse_state:
             states = self._detach_states(speakers)
             self._release_speakers(speakers, tables)
         else:
             states = {asn: sp.state for asn, sp in speakers.items()}
-
-        withdrawn = {(wd.host_asn, wd.site_id) for wd in withdrawals}
-        state = ConvergedState(
-            prefix=self.prefix,
-            origin_asn=self.origin_asn,
-            states=states,
-            injections=tuple(injections),
-            convergence_time_ms=last_time,
-            message_count=messages,
-            enabled_sites=tuple(sorted({
-                inj.site_id
-                for inj in injections
-                if (inj.host_asn, inj.site_id) not in withdrawn
-            })),
-        )
-        if cache_key is not None:
-            self.cache.store(cache_key, state)
-        return state
+        return states, last_time, messages, events

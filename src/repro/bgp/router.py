@@ -221,6 +221,14 @@ class BGPSpeaker:
             # Inlined copy of decision.evaluate(): this runs once per
             # delivered message and the call overhead is measurable.
             # Keep in lockstep with decision.evaluate.
+            adj_rib_in = state.adj_rib_in
+            if len(adj_rib_in) == 1:
+                # Single candidate (stubs, injection hosts): the scan
+                # and every tie-break are no-ops.
+                new_best = next(iter(adj_rib_in.values()))
+                state.best = new_best
+                state.multipath = [new_best]
+                return self._export_updates(state, old_best, new_best, tables)
             best_key = None
             tied: List[Route] = []
             for r in state.adj_rib_in.values():
@@ -257,7 +265,10 @@ class BGPSpeaker:
             multipath = multipath_set(routes, node)
         state.best = new_best
         state.multipath = multipath
+        return self._export_updates(state, old_best, new_best, tables)
 
+    def _export_updates(self, state, old_best, new_best, tables) -> List[OutgoingUpdate]:
+        """Exports required by a best-route change (decision's tail)."""
         if new_best is None:
             if not state.advertised_to:
                 return []
@@ -278,7 +289,7 @@ class BGPSpeaker:
             # materially_equal(old_best), inlined.
             return []
 
-        asn = node.asn
+        asn = self.node.asn
         learned_from = new_best.learned_from
         as_path = new_best.as_path
         export_path = (asn,) + as_path

@@ -53,7 +53,10 @@ class AnyOpt:
     """End-to-end driver for the AnyOpt pipeline on a testbed.
 
     Campaign knobs — the drift/noise models plus the runtime options
-    (parallelism, convergence caching) — live in one
+    (parallelism, convergence caching, and the convergence engine mode
+    ``engine_mode``/``aggregate_stubs``, which trades nothing away:
+    delta replay with stub aggregation is bit-identical to the full
+    engine and is the default) — live in one
     :class:`~repro.runtime.settings.CampaignSettings` value.  The old
     per-knob constructor kwargs (``session_churn_prob=`` etc.) are
     still accepted for now but emit a :class:`DeprecationWarning`.

@@ -45,6 +45,12 @@ class ConvergenceCache:
     counter) because the engine run they replace is skipped all the
     same — that is how repeated CLI invocations and process-pool
     workers reuse each other's convergence work.
+
+    Delta-mode states hold a :class:`~repro.bgp.delta.LazyStates`
+    mapping whose pickle reduces to a plain dict, so a spilled entry is
+    mode-agnostic on disk; the store is nonetheless namespaced by
+    engine mode (see :func:`~repro.io.cachestore.topology_fingerprint`)
+    so modes never serve each other's entries.
     """
 
     def __init__(

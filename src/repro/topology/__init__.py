@@ -24,7 +24,12 @@ from repro.topology.caida import (
     parse_relationship_lines,
 )
 from repro.topology.custom import SiteSpec, build_custom_testbed
-from repro.topology.generator import TopologyParams, generate_internet
+from repro.topology.generator import (
+    ScaleSweepParams,
+    TopologyParams,
+    generate_internet,
+    generate_scale_internet,
+)
 from repro.topology.geo import (
     CITIES,
     GeoPoint,
@@ -49,6 +54,7 @@ __all__ = [
     "PAPER_SITES",
     "PopNetwork",
     "Relationship",
+    "ScaleSweepParams",
     "SiteSpec",
     "Testbed",
     "TestbedParams",
@@ -57,6 +63,7 @@ __all__ = [
     "build_paper_testbed",
     "city",
     "generate_internet",
+    "generate_scale_internet",
     "great_circle_km",
     "load_as_relationships",
     "load_as_relationships_file",

@@ -9,6 +9,8 @@ carries a seeded control-plane propagation delay so that BGP
 advertisement *arrival order* is well defined (S4.2).
 """
 
+import math
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -103,6 +105,81 @@ class TopologyParams:
             value = getattr(self, frac_name)
             if not 0.0 <= value <= 1.0:
                 raise TopologyError(f"{frac_name} must be in [0, 1]")
+
+
+@dataclass
+class ScaleSweepParams:
+    """Knobs for internet-scale sweep topologies.
+
+    Where :class:`TopologyParams` targets a paper-faithful testbed,
+    this targets *size*: a tier-1 clique, regional tier-2 transit
+    pools whose intra-region peering follows a Waxman model (nearby
+    transits peer more often), IXP fabrics that full-mesh the transits
+    nearest a handful of exchange cities, and a large stub population
+    with a strong single-homing bias.  Stubs only buy transit (no
+    peering, no customers of their own), so every one of them — multi-
+    homed included — is a *pure stub* the delta engine aggregates out
+    of the event heap; the simulated core is just the transit
+    hierarchy and stays small while ``n_ases`` grows.
+    """
+
+    n_ases: int = 1000
+    n_tier1: int = 8
+    #: Fraction of ``n_ases`` that become regional tier-2 transits.
+    tier2_fraction: float = 0.05
+    #: Number of geographic regions the tier-2s are pooled into.
+    regions: int = 6
+    #: Waxman link-probability parameters for intra-region tier-2
+    #: peering: ``P(u, v) = alpha * exp(-d(u, v) / (beta * L))`` with
+    #: ``L`` the half-circumference of the Earth.
+    waxman_alpha: float = 0.4
+    waxman_beta: float = 0.2
+    #: IXP fabrics: each picks an anchor city and full-meshes the
+    #: ``ixp_size`` tier-2s nearest to it (cross-region shortcuts).
+    ixp_count: int = 4
+    ixp_size: int = 6
+    #: Probability a stub buys transit from exactly one provider
+    #: (multi-homed stubs still aggregate; the bias shapes realism,
+    #: not the delta engine's reach).
+    single_home_bias: float = 0.88
+    stub_max_providers: int = 3
+    content_stub_fraction: float = 0.25
+
+    def __post_init__(self):
+        if self.n_tier1 < 2:
+            raise TopologyError("need at least two tier-1 ASes")
+        if self.n_tier1 > len(TIER1_BACKBONES):
+            raise TopologyError(
+                f"at most {len(TIER1_BACKBONES)} tier-1 ASes supported"
+            )
+        if self.regions < 1:
+            raise TopologyError("need at least one region")
+        if self.ixp_count < 0 or self.ixp_size < 2 and self.ixp_count > 0:
+            raise TopologyError("an IXP needs at least two members")
+        for frac_name in (
+            "tier2_fraction",
+            "waxman_alpha",
+            "single_home_bias",
+            "content_stub_fraction",
+        ):
+            value = getattr(self, frac_name)
+            if not 0.0 <= value <= 1.0:
+                raise TopologyError(f"{frac_name} must be in [0, 1]")
+        if self.waxman_beta <= 0.0:
+            raise TopologyError("waxman_beta must be positive")
+        if self.stub_max_providers < 1:
+            raise TopologyError("stubs need at least one provider")
+        n_tier2, n_stub = self.tier_counts()
+        if n_stub < 1:
+            raise TopologyError(
+                f"n_ases={self.n_ases} leaves no room for stubs "
+                f"({self.n_tier1} tier-1 + {n_tier2} tier-2)"
+            )
+
+    def tier_counts(self):
+        """``(n_tier2, n_stub)`` implied by ``n_ases``."""
+        n_tier2 = max(self.regions, int(self.n_ases * self.tier2_fraction))
+        return n_tier2, self.n_ases - self.n_tier1 - n_tier2
 
 
 class Internet:
@@ -205,7 +282,14 @@ def generate_internet(params: Optional[TopologyParams] = None, seed=0) -> Intern
         for provider in _proximity_sample(rng_links, candidates, graph, pop_networks, loc, n_providers):
             _link_customer_to_provider(graph, pop_networks, asn, provider, params, rng_delay)
 
-    # --- interior costs ---------------------------------------------------
+    _assign_costs_and_flags(graph, params, seed, rng_flags)
+
+    graph.validate()
+    return Internet(graph, pop_networks, params, seed)
+
+
+def _assign_costs_and_flags(graph: ASGraph, params: TopologyParams, seed, rng_flags) -> None:
+    """Interior costs and per-AS behaviour flags (shared generator tail)."""
     # A "tie-prone" AS (e.g. all sessions at one PoP) has equal IGP
     # costs everywhere, so equally-good routes reach the arrival-order
     # tie-break; other ASes break such ties deterministically here.
@@ -219,7 +303,6 @@ def generate_internet(params: Optional[TopologyParams] = None, seed=0) -> Intern
             else:
                 link.igp_cost[asn] = 1 + stable_hash(seed, "igp", asn, neighbor) % 1_000_000
 
-    # --- behaviour flags -------------------------------------------------
     rng_arrival = derive_rng(seed, "arrival-order")
     for asn in graph.asns():
         graph.as_of(asn).arrival_order_tiebreak = (
@@ -237,8 +320,144 @@ def generate_internet(params: Optional[TopologyParams] = None, seed=0) -> Intern
                 for neighbor in graph.neighbors(asn)
             }
 
+
+def generate_scale_internet(params: Optional[ScaleSweepParams] = None, seed=0) -> Internet:
+    """Generate an internet-scale sweep topology.
+
+    Deterministic in ``(params, seed)`` like :func:`generate_internet`.
+    The returned :class:`Internet` carries a :class:`TopologyParams`
+    in ``.params`` (so downstream consumers keep working) and the
+    sweep knobs in ``.scale_params``.
+
+    Structure: tier-1 peering clique (the AS-graph validator requires
+    one), regional tier-2 pools with Waxman intra-region peering, IXP
+    full-meshes anchored at exchange cities, and stubs homed into
+    their region's transit pool with ``single_home_bias`` controlling
+    how many are degree-1 customers (= aggregatable by the delta
+    engine's stub aggregation).
+    """
+    params = params or ScaleSweepParams()
+    n_tier2, n_stub = params.tier_counts()
+    # The behaviour fractions the scale sweep inherits; sized like the
+    # testbed defaults so per-AS policy is comparable across scales.
+    base = TopologyParams(
+        n_tier1=params.n_tier1,
+        n_tier2=n_tier2,
+        n_stub=n_stub,
+        stub_max_providers=params.stub_max_providers,
+        content_stub_fraction=params.content_stub_fraction,
+    )
+    graph = ASGraph()
+    pop_networks: Dict[int, PopNetwork] = {}
+    city_names = sorted(CITIES)
+
+    rng_place = derive_rng(seed, "scale-placement")
+    rng_pops = derive_rng(seed, "pops")
+    rng_links = derive_rng(seed, "scale-links")
+    rng_flags = derive_rng(seed, "flags")
+    rng_delay = derive_rng(seed, "bgp-delays")
+
+    # --- tier-1 clique ------------------------------------------------
+    tier1_asns: List[int] = []
+    for name, asn in TIER1_BACKBONES[: params.n_tier1]:
+        pop_cities = _tier1_pop_cities(name, base, rng_pops, city_names)
+        pops = [city(c) for c in pop_cities]
+        node = AS(asn=asn, tier=1, location=pops[0], name=name)
+        graph.add_as(node)
+        pop_networks[asn] = PopNetwork(asn, pops, derive_rng(seed, "backbone", asn))
+        tier1_asns.append(asn)
+    for i, a in enumerate(tier1_asns):
+        for b in tier1_asns[i + 1:]:
+            _link_tier1_pair(graph, pop_networks, a, b, base, rng_delay)
+
+    # --- regional tier-2 pools ----------------------------------------
+    anchors = [city(c) for c in rng_place.sample(city_names, params.regions)]
+    # Each region draws tier-2/stub locations from the cities nearest
+    # its anchor, so Waxman distances and provider proximity mean
+    # something.
+    region_cities: List[List[str]] = []
+    for anchor in anchors:
+        ranked = sorted(
+            city_names, key=lambda c: great_circle_km(city(c), anchor)
+        )
+        region_cities.append(ranked[: max(6, len(city_names) // params.regions)])
+
+    region_pools: List[List[int]] = [[] for _ in range(params.regions)]
+    tier2_asns: List[int] = []
+    for idx in range(n_tier2):
+        region = idx % params.regions
+        asn = _TIER2_ASN_BASE + idx
+        loc = city(rng_place.choice(region_cities[region]))
+        graph.add_as(AS(asn=asn, tier=2, location=loc, name=f"transit-r{region}-{idx}"))
+        tier2_asns.append(asn)
+        region_pools[region].append(asn)
+        n_providers = rng_links.randint(1, min(2, len(tier1_asns)))
+        for provider in _proximity_sample(rng_links, tier1_asns, graph, pop_networks, loc, n_providers):
+            _link_customer_to_provider(graph, pop_networks, asn, provider, base, rng_delay)
+
+    # Waxman peering inside each region: nearby transits peer more
+    # often — P = alpha * exp(-d / (beta * L)).
+    half_circumference_km = 20015.0
+    peered = set()
+    for pool in region_pools:
+        for i, a in enumerate(pool):
+            for b in pool[i + 1:]:
+                d = great_circle_km(graph.as_of(a).location, graph.as_of(b).location)
+                p = params.waxman_alpha * math.exp(
+                    -d / (params.waxman_beta * half_circumference_km)
+                )
+                if rng_links.random() < p:
+                    _link_single_pop_pair(graph, a, b, Relationship.PEER, base, rng_delay)
+                    peered.add((a, b))
+
+    # --- IXP fabrics ---------------------------------------------------
+    # Each exchange full-meshes the transits nearest its anchor city,
+    # cutting cross-region paths the way real IXPs do.
+    for ixp in range(params.ixp_count):
+        anchor = city(rng_place.choice(city_names))
+        members = sorted(
+            tier2_asns,
+            key=lambda asn: great_circle_km(graph.as_of(asn).location, anchor),
+        )[: params.ixp_size]
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                pair = (a, b) if a < b else (b, a)
+                if pair in peered:
+                    continue
+                _link_single_pop_pair(graph, a, b, Relationship.PEER, base, rng_delay)
+                peered.add(pair)
+
+    # --- stubs ---------------------------------------------------------
+    rng_content = derive_rng(seed, "content-stubs")
+    for idx in range(n_stub):
+        region = rng_place.randrange(params.regions)
+        asn = _STUB_ASN_BASE + idx
+        loc = city(rng_place.choice(region_cities[region]))
+        is_content = rng_content.random() < params.content_stub_fraction
+        graph.add_as(
+            AS(
+                asn=asn,
+                tier=3,
+                location=loc,
+                name=f"{'content' if is_content else 'stub'}-{idx}",
+                hosts_clients=not is_content,
+            )
+        )
+        if rng_links.random() < params.single_home_bias:
+            n_providers = 1
+        else:
+            n_providers = rng_links.randint(2, max(2, params.stub_max_providers))
+        pool = region_pools[region]
+        candidates = pool if rng_links.random() < 0.9 else tier1_asns
+        for provider in _proximity_sample(rng_links, candidates, graph, pop_networks, loc, n_providers):
+            _link_customer_to_provider(graph, pop_networks, asn, provider, base, rng_delay)
+
+    _assign_costs_and_flags(graph, base, seed, rng_flags)
+
     graph.validate()
-    return Internet(graph, pop_networks, params, seed)
+    internet = Internet(graph, pop_networks, base, seed)
+    internet.scale_params = params
+    return internet
 
 
 # --- helpers -------------------------------------------------------------

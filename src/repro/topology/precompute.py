@@ -47,6 +47,24 @@ class TopologyTables:
             per-message import path pays a single lookup.
         prop_delay: one-way control-plane delay per directed ``(a,
             b)`` link, for update scheduling without a link lookup.
+        index_asn: the sorted ASN tuple — the dense index space the
+            columnar RIB (:class:`repro.bgp.rib.ColumnarRib`) and the
+            delta engine's aggregation arrays are laid out over.
+        asn_index: inverse of ``index_asn`` (ASN → dense index).
+        stub_providers: per *pure stub* ASN, the sorted tuple of its
+            provider ASNs.  A pure stub is an AS every one of whose
+            sessions is with a provider (any homing degree): whatever
+            it learns arrived from a provider, and provider-learned
+            routes export to customers only — of which it has none —
+            so it can never say anything back.  The delta engine
+            collapses such ASes into their providers' catchments and
+            reconstructs their states from the providers' export
+            episodes, bit-identically (see
+            :mod:`repro.bgp.delta`).  ASes with any peer or customer
+            session stay live.
+        stub_provider: the single-homed subset of ``stub_providers``
+            (stub ASN → its sole provider), kept for callers that only
+            handle degree-1 stubs.
         revision: the graph mutation counter the tables were built
             from; a mismatch means the tables are stale.
     """
@@ -57,6 +75,10 @@ class TopologyTables:
         default_factory=dict
     )
     prop_delay: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    index_asn: Tuple[int, ...] = ()
+    asn_index: Dict[int, int] = field(default_factory=dict)
+    stub_providers: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    stub_provider: Dict[int, int] = field(default_factory=dict)
     revision: int = 0
 
     def export_targets(self, asn: int, learned_rel: Relationship) -> Tuple[int, ...]:
@@ -69,15 +91,20 @@ class TopologyTables:
 def build_tables(graph: ASGraph, revision: int = 0) -> TopologyTables:
     """Derive :class:`TopologyTables` from ``graph`` (one O(V+E) pass)."""
     tables = TopologyTables(revision=revision)
+    tables.index_asn = tuple(graph.asns())
+    tables.asn_index = {asn: i for i, asn in enumerate(tables.index_asn)}
     for asn in graph.asns():
         node = graph.as_of(asn)
         neighbors = graph.neighbors(asn)
         tables.export_all[asn] = tuple(sorted(neighbors))
         customers = []
+        pure_stub = bool(neighbors)
         for neighbor in neighbors:
             rel = graph.rel(asn, neighbor)
             if rel is Relationship.CUSTOMER:
                 customers.append(neighbor)
+            if rel is not Relationship.PROVIDER:
+                pure_stub = False
             link = graph.link(asn, neighbor)
             tables.session_import[(asn, neighbor)] = (
                 policy.local_pref_for(node, neighbor, rel),
@@ -85,6 +112,10 @@ def build_tables(graph: ASGraph, revision: int = 0) -> TopologyTables:
                 rel,
             )
         tables.export_customers[asn] = tuple(sorted(customers))
+        if pure_stub:
+            tables.stub_providers[asn] = tables.export_all[asn]
+            if len(neighbors) == 1:
+                tables.stub_provider[asn] = neighbors[0]
     for link in graph.links():
         tables.prop_delay[(link.a, link.b)] = link.prop_delay_ms
         tables.prop_delay[(link.b, link.a)] = link.prop_delay_ms

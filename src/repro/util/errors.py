@@ -28,6 +28,40 @@ class ConfigurationError(ReproError):
     """
 
 
+class ConvergenceBudgetError(ReproError):
+    """A BGP convergence run exhausted its event budget.
+
+    Gao-Rexford policies guarantee convergence, so hitting the budget
+    means either a topology far larger than the configured cap (raise
+    ``CampaignSettings.max_convergence_events``) or a genuine policy
+    bug producing an oscillation.  The census attributes let the
+    operator tell the two apart without rerunning under a debugger:
+    a run touching nearly every AS with ever-growing virtual time is
+    an oscillation; one that merely ran out of headroom touches a
+    bounded set.
+
+    Attributes:
+        budget: the event cap that was exhausted.
+        events: events processed when the run was aborted (the first
+            census to exceed the budget; in delta mode this includes
+            the reconstructed deliveries to aggregated stubs, so it can
+            land past ``budget + 1``).
+        ases_touched: distinct ASes that had received at least one event.
+        virtual_time_ms: the virtual clock at the aborting event.
+    """
+
+    def __init__(self, budget: int, events: int, ases_touched: int, virtual_time_ms: float):
+        self.budget = budget
+        self.events = events
+        self.ases_touched = ases_touched
+        self.virtual_time_ms = virtual_time_ms
+        super().__init__(
+            f"BGP event budget exhausted ({events} events > budget {budget}; "
+            f"{ases_touched} ASes touched, virtual time {virtual_time_ms:.1f} ms); "
+            "the configuration did not converge"
+        )
+
+
 class MeasurementError(ReproError):
     """A measurement could not be carried out.
 

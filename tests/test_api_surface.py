@@ -55,21 +55,26 @@ def test_public_classes_documented():
     assert not undocumented, f"missing docstrings: {undocumented}"
 
 
-def test_engine_event_budget_guard(testbed, monkeypatch):
+def test_engine_event_budget_guard(testbed):
     """The convergence watchdog trips instead of spinning forever."""
-    import repro.bgp.engine as engine_mod
     from repro.bgp.engine import BGPEngine, SiteInjection
     from repro.topology.astopo import Relationship
-    from repro.util.errors import ReproError
+    from repro.util.errors import ConvergenceBudgetError, ReproError
 
-    monkeypatch.setattr(engine_mod, "_MAX_EVENTS", 10)
     site = testbed.site(1)
-    engine = BGPEngine(testbed.internet)
-    with pytest.raises(ReproError, match="did not converge"):
-        engine.run([
-            SiteInjection(
-                host_asn=site.provider_asn, site_id=1,
-                pop_id=site.attach_pop, link_rtt_ms=0.5,
-                rel_from_host=Relationship.CUSTOMER,
-            )
-        ])
+    for mode in ("delta", "full"):
+        engine = BGPEngine(testbed.internet, mode=mode, max_events=10)
+        with pytest.raises(ReproError, match="did not converge") as excinfo:
+            engine.run([
+                SiteInjection(
+                    host_asn=site.provider_asn, site_id=1,
+                    pop_id=site.attach_pop, link_rtt_ms=0.5,
+                    rel_from_host=Relationship.CUSTOMER,
+                )
+            ])
+        census = excinfo.value
+        assert isinstance(census, ConvergenceBudgetError)
+        assert census.budget == 10
+        assert census.events > census.budget
+        assert census.ases_touched >= 1
+        assert census.virtual_time_ms >= 0.0

@@ -5,8 +5,10 @@ import pytest
 from repro.topology.astopo import Relationship
 from repro.topology.generator import (
     TIER1_BACKBONES,
+    ScaleSweepParams,
     TopologyParams,
     generate_internet,
+    generate_scale_internet,
 )
 from repro.util.errors import TopologyError
 
@@ -130,3 +132,53 @@ class TestRequiredPops:
         params = TopologyParams(required_tier1_pops={"Telia": ["Atlantis"]})
         with pytest.raises(KeyError):
             generate_internet(params, seed=4)
+
+
+class TestScaleSweep:
+    """The internet-scale sweep generator feeding the delta engine's
+    scale benchmarks."""
+
+    @pytest.fixture(scope="class")
+    def net(self):
+        return generate_scale_internet(ScaleSweepParams(n_ases=600), seed=3)
+
+    def test_param_validation(self):
+        with pytest.raises(TopologyError):
+            ScaleSweepParams(n_ases=10)
+        with pytest.raises(TopologyError):
+            ScaleSweepParams(waxman_alpha=1.5)
+        with pytest.raises(TopologyError):
+            ScaleSweepParams(single_home_bias=-0.1)
+
+    def test_total_size_and_validity(self, net):
+        assert len(net.graph) == 600
+        net.graph.validate()
+        net.graph.validate_tier1_clique()
+
+    def test_mostly_aggregatable(self, net):
+        """Stubs only buy transit, so the pure-stub share — what the
+        delta engine can aggregate — dominates the topology."""
+        tables = net.graph.tables()
+        assert len(tables.stub_providers) / len(net.graph) > 0.8
+
+    def test_deterministic(self):
+        params = ScaleSweepParams(n_ases=400)
+        a = generate_scale_internet(params, seed=9)
+        b = generate_scale_internet(params, seed=9)
+        assert a.graph.asns() == b.graph.asns()
+        for link_a in a.graph.links():
+            link_b = b.graph.link(link_a.a, link_a.b)
+            assert link_a.prop_delay_ms == link_b.prop_delay_ms
+            assert link_a.igp_cost == link_b.igp_cost
+
+    def test_seed_changes_wiring(self):
+        params = ScaleSweepParams(n_ases=400)
+        a = generate_scale_internet(params, seed=1)
+        b = generate_scale_internet(params, seed=2)
+        pairs_a = sorted((l.a, l.b) for l in a.graph.links())
+        pairs_b = sorted((l.a, l.b) for l in b.graph.links())
+        assert pairs_a != pairs_b
+
+    def test_multi_homed_stubs_exist(self, net):
+        tables = net.graph.tables()
+        assert any(len(ps) > 1 for ps in tables.stub_providers.values())
