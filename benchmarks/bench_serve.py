@@ -15,6 +15,10 @@ up in review diffs):
   against a live :class:`ModelServer` on a loopback socket
   (sequential keep-alive latencies for p50/p99, concurrent
   connections for throughput).
+- **live**: the per-request cost of the always-on telemetry hot path
+  (windowed reservoir observe + rate increment + SLO record),
+  expressed as a fraction of the measured HTTP p50 and checked
+  against the <10% overhead budget.
 - **reload**: a hot snapshot swap in the middle of a concurrent
   request burst — republish, ``POST /reloadz``, and assert that not
   one in-flight request failed and every answer names a coherent
@@ -196,6 +200,40 @@ def bench_http(snapshot_path, testbed, quick) -> dict:
     }
 
 
+def bench_live(http_stats, quick) -> dict:
+    """Per-request cost of the live telemetry hot path — one reservoir
+    observe, one rate increment, one SLO record — as a fraction of the
+    measured HTTP p50.  The windowed instruments must stay inside the
+    same <10% overhead budget the tracer lives under."""
+    from repro.obs.slo import SloEngine
+    from repro.obs.live import LiveMetrics
+    from repro.serve.http import default_slo_specs
+
+    iterations = 20_000 if quick else 100_000
+    live = LiveMetrics()
+    reservoir = live.reservoir("serve_request_ms")
+    rate = live.rate("serve_requests")
+    slo = SloEngine(default_slo_specs())
+    slo.set_gauge_source("snapshot-freshness", lambda: 0.0)
+    t0 = time.perf_counter()
+    for i in range(iterations):
+        latency_ms = float(i % 251)
+        reservoir.observe(latency_ms)
+        rate.increment()
+        slo.record(ok=True, latency_ms=latency_ms)
+    per_request_ms = (time.perf_counter() - t0) * 1000.0 / iterations
+    p50 = http_stats["p50_ms"]
+    overhead = per_request_ms / p50 if p50 else 0.0
+    return {
+        "iterations": iterations,
+        "per_request_ms": round(per_request_ms, 6),
+        "http_p50_ms": p50,
+        "overhead_fraction_of_p50": round(overhead, 5),
+        "budget_fraction": 0.10,
+        "within_budget": overhead < 0.10,
+    }
+
+
 def bench_reload(snapshot_path, model, testbed, quick, trace_out=None) -> dict:
     """Hot reload under load: every in-flight request must succeed."""
     modified = model_from_dict(model_to_dict(model), testbed)
@@ -328,6 +366,13 @@ def main(argv=None) -> int:
         f"{http['concurrent_connections']} connections"
     )
 
+    live = bench_live(http, args.quick)
+    print(
+        f"live telemetry: {live['per_request_ms'] * 1000:.1f}us/request "
+        f"({100 * live['overhead_fraction_of_p50']:.2f}% of http p50, "
+        f"budget 10%)"
+    )
+
     reload_stats = bench_reload(
         snapshot_path, model, testbed, args.quick, trace_out=args.trace
     )
@@ -351,19 +396,27 @@ def main(argv=None) -> int:
         "model": snapshot.counts,
         "lookup": lookup,
         "http": http,
+        "live": live,
         "reload": reload_stats,
     }
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.out}")
+    code = 0
     if lookup["engine_vs_per_call"] < 10:
         print(
             "WARNING: engine-vs-per-call ratio below the 10x acceptance bar",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        code = 1
+    if not live["within_budget"]:
+        print(
+            "WARNING: live-telemetry overhead above the 10% hot-path budget",
+            file=sys.stderr,
+        )
+        code = 1
+    return code
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ Also runnable as ``python -m repro ...``.
 """
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -27,12 +28,15 @@ from repro.core.twolevel import SiteLevelMode
 from repro.io import load_model, load_testbed, save_model, save_testbed
 from repro.measurement import select_targets
 from repro.obs.export import load_trace, write_prometheus, write_trace_jsonl
+from repro.obs.heartbeat import HeartbeatWriter, follow_heartbeats, load_heartbeats
 from repro.obs.inspect import summarize_trace
 from repro.obs.log import LEVELS, configure_logging
 from repro.report import (
     render_audit_report,
     render_catchment_bars,
     render_cdf,
+    render_heartbeat,
+    render_heartbeat_history,
     render_metrics,
     render_table,
 )
@@ -68,6 +72,16 @@ def _port(raw: str) -> int:
         raise argparse.ArgumentTypeError(f"expected a port number, got {raw!r}") from None
     if not 0 <= value <= 65535:
         raise argparse.ArgumentTypeError(f"expected a port in [0, 65535], got {value}")
+    return value
+
+
+def _positive_float(raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {raw!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
     return value
 
 
@@ -113,6 +127,28 @@ def _make_anyopt(args) -> AnyOpt:
     return anyopt
 
 
+def _campaign_heartbeat(args, anyopt, campaign: str, total_experiments=None):
+    """Heartbeat context for a campaign command.
+
+    Returns a started-on-enter :class:`HeartbeatWriter` when the user
+    asked for ``--heartbeat PATH``, else a null context yielding None.
+    Heartbeat config is a CLI concern, deliberately *not* a
+    :class:`CampaignSettings` field: settings equality gates
+    checkpoint resume, and where progress gets reported must never
+    break resume compatibility.
+    """
+    path = getattr(args, "heartbeat", None)
+    if not path:
+        return contextlib.nullcontext(None)
+    return HeartbeatWriter(
+        path,
+        anyopt.metrics,
+        interval_s=getattr(args, "heartbeat_interval", 5.0),
+        campaign=campaign,
+        total_experiments=total_experiments,
+    )
+
+
 # --- subcommands -----------------------------------------------------------
 
 
@@ -140,22 +176,38 @@ def cmd_discover(args) -> int:
     if args.checkpoint and os.path.exists(args.checkpoint):
         print(f"resuming from checkpoint {args.checkpoint}")
         resume_from = args.checkpoint
-    model = anyopt.discover(
-        parallelism=args.parallelism,
-        checkpoint_path=args.checkpoint,
-        resume_from=resume_from,
+    plan = plan_measurements(
+        n_sites=len(anyopt.testbed.site_ids()),
+        n_providers=len(anyopt.testbed.provider_asns()),
+        site_level=SiteLevelStrategy(args.site_level),
     )
-    if args.audit or args.repair:
-        report = anyopt.audit(model)
-        print(render_audit_report(report))
-        if args.repair and not report.clean:
-            repaired = anyopt.repair(model, report=report, parallelism=args.parallelism)
-            print(
-                f"repair: {repaired.rounds} round(s), "
-                f"{repaired.experiments_used} experiment(s) re-run; "
-                f"{repaired.final_report.predictable_clients}/{len(anyopt.targets)} "
-                f"client(s) now predictable"
-            )
+    with _campaign_heartbeat(
+        args, anyopt, "discover", total_experiments=plan.total_experiments
+    ) as heartbeat:
+        if heartbeat is not None:
+            heartbeat.set_phase("discover")
+        model = anyopt.discover(
+            parallelism=args.parallelism,
+            checkpoint_path=args.checkpoint,
+            resume_from=resume_from,
+        )
+        if args.audit or args.repair:
+            if heartbeat is not None:
+                heartbeat.set_phase("audit")
+            report = anyopt.audit(model)
+            print(render_audit_report(report))
+            if args.repair and not report.clean:
+                if heartbeat is not None:
+                    heartbeat.set_phase("repair")
+                repaired = anyopt.repair(
+                    model, report=report, parallelism=args.parallelism
+                )
+                print(
+                    f"repair: {repaired.rounds} round(s), "
+                    f"{repaired.experiments_used} experiment(s) re-run; "
+                    f"{repaired.final_report.predictable_clients}/{len(anyopt.targets)} "
+                    f"client(s) now predictable"
+                )
     save_model(model, args.out)
     if model.failures:
         # Counted from the model, not the metrics counters, so a
@@ -201,42 +253,47 @@ def cmd_audit(args) -> int:
     anyopt = _make_anyopt(args)
     model = load_model(args.model, anyopt.testbed)
     violation = None
-    try:
-        report = anyopt.audit(
-            model,
-            ground_truth_k=args.ground_truth,
-            min_accuracy=args.min_accuracy,
-        )
-    except AuditViolation as exc:
-        if exc.report is None:
-            raise
-        violation = exc
-        report = exc.report
-    print(render_audit_report(report))
-    repair_report = None
-    if args.repair and not report.clean:
-        repair_report = anyopt.repair(
-            model,
-            report=report,
-            max_rounds=args.max_rounds,
-            budget=args.repair_budget,
-            parallelism=args.parallelism,
-            checkpoint_path=args.checkpoint,
-            resume_from=args.checkpoint
-            if args.checkpoint and os.path.exists(args.checkpoint)
-            else None,
-        )
-        report = repair_report.final_report
-        print(
-            f"\nrepair: {repair_report.rounds} round(s), "
-            f"{repair_report.experiments_used} experiment(s) re-run"
-            + (" (budget exhausted)" if repair_report.budget_exhausted else "")
-        )
-        print()
+    with _campaign_heartbeat(args, anyopt, "audit") as heartbeat:
+        if heartbeat is not None:
+            heartbeat.set_phase("audit")
+        try:
+            report = anyopt.audit(
+                model,
+                ground_truth_k=args.ground_truth,
+                min_accuracy=args.min_accuracy,
+            )
+        except AuditViolation as exc:
+            if exc.report is None:
+                raise
+            violation = exc
+            report = exc.report
         print(render_audit_report(report))
-        if args.out:
-            save_model(model, args.out)
-            print(f"saved repaired model to {args.out}")
+        repair_report = None
+        if args.repair and not report.clean:
+            if heartbeat is not None:
+                heartbeat.set_phase("repair")
+            repair_report = anyopt.repair(
+                model,
+                report=report,
+                max_rounds=args.max_rounds,
+                budget=args.repair_budget,
+                parallelism=args.parallelism,
+                checkpoint_path=args.checkpoint,
+                resume_from=args.checkpoint
+                if args.checkpoint and os.path.exists(args.checkpoint)
+                else None,
+            )
+            report = repair_report.final_report
+            print(
+                f"\nrepair: {repair_report.rounds} round(s), "
+                f"{repair_report.experiments_used} experiment(s) re-run"
+                + (" (budget exhausted)" if repair_report.budget_exhausted else "")
+            )
+            print()
+            print(render_audit_report(report))
+            if args.out:
+                save_model(model, args.out)
+                print(f"saved repaired model to {args.out}")
     if args.snapshot_out:
         _compile_snapshot_file(model, args.snapshot_out)
     if args.report:
@@ -477,7 +534,17 @@ def cmd_serve(args) -> int:
         snapshot_path = args.out or f"{args.model}.snap"
         _compile_snapshot_file(model, snapshot_path)
 
-    server = ModelServer(snapshot_path, host=args.host, port=args.port)
+    from repro.serve.http import default_slo_specs
+
+    server = ModelServer(
+        snapshot_path,
+        host=args.host,
+        port=args.port,
+        slo_specs=default_slo_specs(
+            latency_threshold_ms=args.latency_slo_ms,
+            max_snapshot_age_s=args.max_snapshot_age,
+        ),
+    )
     server.load()  # fail fast on a corrupt snapshot, before binding
 
     def _hot_reload():
@@ -492,7 +559,8 @@ def cmd_serve(args) -> int:
         print(
             f"serving model {server.engine.version} on "
             f"http://{server.host}:{server.port} "
-            "(POST /predict, GET /healthz, GET /modelz, POST /reloadz)"
+            "(POST /predict, GET /healthz /livez /metricsz /slozz /modelz, "
+            "POST /reloadz)"
         )
         loop = asyncio.get_event_loop()
         stop = asyncio.Event()
@@ -523,6 +591,24 @@ def cmd_serve(args) -> int:
 def cmd_inspect_trace(args) -> int:
     records = load_trace(args.trace_file)
     print(summarize_trace(records, top=args.top))
+    return 0
+
+
+def cmd_watch(args) -> int:
+    if args.no_follow:
+        records = load_heartbeats(args.heartbeat_file)
+        if not records:
+            print("no heartbeat records yet")
+            return 1
+        print(render_heartbeat_history(records))
+        return 0
+    try:
+        for record in follow_heartbeats(
+            args.heartbeat_file, poll_s=args.poll, max_polls=args.max_polls
+        ):
+            print(render_heartbeat(record), flush=True)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -598,6 +684,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="export campaign metrics as Prometheus text exposition to PATH",
+    )
+    stats.add_argument(
+        "--heartbeat",
+        default=None,
+        metavar="PATH",
+        help="append periodic campaign-progress records (experiments done, "
+        "cache hit rate, ETA) as JSONL to PATH; tail it live with "
+        "'anyopt watch PATH'",
+    )
+    stats.add_argument(
+        "--heartbeat-interval",
+        type=_positive_float,
+        default=5.0,
+        metavar="SECONDS",
+        help="seconds between heartbeat records (default: 5)",
     )
     stats.add_argument(
         "--log-level",
@@ -936,6 +1037,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=_port, default=8080)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--latency-slo-ms",
+        type=_positive_float,
+        default=250.0,
+        metavar="MS",
+        help="latency-SLO threshold: 99%% of requests should answer within "
+        "MS milliseconds (default: 250)",
+    )
+    p.add_argument(
+        "--max-snapshot-age",
+        type=_positive_float,
+        default=86400.0,
+        metavar="SECONDS",
+        help="freshness-SLO budget: /slozz warns at 75%% of this snapshot "
+        "age and pages past it (default: 86400 = one day)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -951,6 +1068,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows in the slowest-experiments and retry tables",
     )
     p.set_defaults(func=cmd_inspect_trace)
+
+    p = sub.add_parser(
+        "watch",
+        help="tail and render a campaign --heartbeat file",
+    )
+    p.add_argument(
+        "heartbeat_file", metavar="HEARTBEAT",
+        help="JSONL file a campaign is writing via --heartbeat",
+    )
+    p.add_argument(
+        "--no-follow",
+        action="store_true",
+        help="render the records already in the file and exit instead of tailing",
+    )
+    p.add_argument(
+        "--poll",
+        type=_positive_float,
+        default=1.0,
+        metavar="SECONDS",
+        help="poll interval while tailing (default: 1)",
+    )
+    p.add_argument(
+        "--max-polls",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="stop after N consecutive empty polls (default: tail until the "
+        "campaign's final record)",
+    )
+    p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser("plan", help="measurement budget analysis (S4.5)")
     p.add_argument("--sites", type=int, required=True)

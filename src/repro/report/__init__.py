@@ -10,13 +10,17 @@ any plotting dependency:
 - :func:`render_metrics` — campaign counters, timers, and phases;
 - :func:`render_audit_report` — integrity-audit findings and quarantine;
 - :func:`render_prediction_batch` — a typed prediction batch with its
-  reason census.
+  reason census;
+- :func:`render_heartbeat` / :func:`render_heartbeat_history` — the
+  ``anyopt watch`` one-line campaign-progress format.
 """
 
 from repro.report.text import (
     render_audit_report,
     render_catchment_bars,
     render_cdf,
+    render_heartbeat,
+    render_heartbeat_history,
     render_histogram,
     render_metrics,
     render_prediction_batch,
@@ -27,6 +31,8 @@ __all__ = [
     "render_audit_report",
     "render_catchment_bars",
     "render_cdf",
+    "render_heartbeat",
+    "render_heartbeat_history",
     "render_histogram",
     "render_metrics",
     "render_prediction_batch",

@@ -262,6 +262,61 @@ def render_prediction_batch(batch, limit: int = 20) -> str:
     return "\n\n".join(sections)
 
 
+def _fmt_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def render_heartbeat(record: Dict) -> str:
+    """Render one campaign heartbeat record as a single status line —
+    the ``anyopt watch`` display format::
+
+        [  42] discover     8m20s  done 512/1200 (42.7%)  3.2/s  cache 91.2%  eta 3m35s
+
+    Missing optional fields (no total hint, no cache traffic) render
+    as omissions, not zeros; a ``final`` record is flagged, and a
+    record carrying an ``error`` shows it.
+    """
+    parts = [
+        f"[{record.get('seq', '?'):>4}]",
+        f"{(record.get('phase') or record.get('campaign', 'campaign')):<12}",
+        f"{_fmt_duration(record.get('elapsed_s', 0)):>7}",
+    ]
+    done = record.get("experiments_done", 0)
+    total = record.get("experiments_total")
+    if total:
+        parts.append(f"done {done}/{total} ({100.0 * done / total:.1f}%)")
+    else:
+        parts.append(f"done {done}")
+    parts.append(f"{record.get('experiments_per_s', 0.0):.1f}/s")
+    hit_rate = record.get("cache_hit_rate")
+    if hit_rate is not None:
+        parts.append(f"cache {100.0 * hit_rate:.1f}%")
+    failed = record.get("experiments_failed", 0)
+    if failed:
+        parts.append(f"failed {failed}")
+    if total:
+        parts.append(f"eta {_fmt_duration(record.get('eta_s'))}")
+    if record.get("error"):
+        parts.append(f"ERROR: {record['error']}")
+    if record.get("final"):
+        parts.append("(final)")
+    return "  ".join(parts)
+
+
+def render_heartbeat_history(records: Sequence[Dict]) -> str:
+    """Render a whole heartbeat file, one line per record."""
+    if not records:
+        raise ReproError("no heartbeat records to render")
+    return "\n".join(render_heartbeat(record) for record in records)
+
+
 def render_catchment_bars(
     catchment_sizes: Dict[int, int],
     total: Optional[int] = None,

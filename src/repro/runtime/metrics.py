@@ -97,6 +97,14 @@ class Histogram:
     of the value list.  Percentile math is order-independent, which is
     what keeps summaries identical across executors even though thread
     pools observe values in completion order.
+
+    .. warning:: **Unbounded growth.** Memory is O(observations) by
+       design, which is a leak for anything long-running: a server
+       observing per-request latency here would grow without bound.
+       Always-on paths (``repro.serve``) must use the bounded
+       :class:`repro.obs.live.WindowReservoir` instead; this class is
+       for *campaigns*, whose observation count is bounded by the
+       measurement plan.
     """
 
     __slots__ = ("name", "_values", "_lock")

@@ -11,11 +11,25 @@ Endpoints:
   model version.  Malformed requests and empty/undecidable batches
   come back as *structured 4xx JSON errors*, never a 500: a service
   cannot ship a raised ``ReproError`` as its answer.
-- ``GET /healthz`` — liveness plus the in-flight request count.
+- ``GET /healthz`` — *readiness*: 200 with snapshot version + age when
+  a snapshot is loaded and the server is not draining, else 503 with a
+  structured body.
+- ``GET /livez`` — *liveness*: 200 whenever the event loop answers,
+  even while draining (a live-but-not-ready server must not be
+  restarted by its supervisor mid-drain).
+- ``GET /metricsz`` — Prometheus text exposition: batch counters plus
+  the rolling-window gauges and SLO states.
+- ``GET /slozz`` — SLO / burn-rate state as JSON.
 - ``GET /modelz`` — the snapshot's :meth:`Snapshot.describe` document.
 - ``POST /reloadz`` — hot reload: re-load the snapshot path (atomic
   publish by :func:`~repro.serve.snapshot.write_snapshot` guarantees a
   complete file) and swap the engine.
+
+Request latency is recorded in the bounded
+:class:`~repro.obs.live.WindowReservoir`, *not* the batch
+``Histogram`` — an always-on server must hold O(1) telemetry, and the
+exact batch percentiles are a campaign tool (see
+:mod:`repro.runtime.metrics` for the hazard note).
 
 Consistency under reload: handlers capture the engine reference once
 per request, and the swap is a single attribute assignment on the
@@ -30,9 +44,13 @@ are closed.
 
 import asyncio
 import json
-from typing import Dict, Optional, Tuple
+import time
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.core.config import AnycastConfig
+from repro.obs.export import render_prometheus
+from repro.obs.live import Clock, LiveMetrics
+from repro.obs.slo import SloEngine, SloSpec, worst_state
 from repro.obs.trace import Tracer
 from repro.runtime.metrics import MetricsRegistry
 from repro.serve.lookup import LookupEngine
@@ -41,6 +59,32 @@ from repro.util.errors import ReproError
 
 #: Largest accepted request body; /predict bodies are tiny id lists.
 MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Default "fast enough" bound for the request-latency SLO.
+DEFAULT_LATENCY_THRESHOLD_MS = 250.0
+
+#: Default maximum acceptable snapshot age before freshness pages.
+DEFAULT_MAX_SNAPSHOT_AGE_S = 86400.0
+
+
+def default_slo_specs(
+    latency_threshold_ms: float = DEFAULT_LATENCY_THRESHOLD_MS,
+    max_snapshot_age_s: float = DEFAULT_MAX_SNAPSHOT_AGE_S,
+) -> Tuple[SloSpec, ...]:
+    """The server's stock SLOs: 99.9% availability, 99% of requests
+    under the latency threshold, and a snapshot-freshness age bound
+    (warn at 75% of the budget, page past it)."""
+    return (
+        SloSpec("availability", "availability", 0.999),
+        SloSpec(
+            "p99-latency", "latency", 0.99,
+            latency_threshold_ms=latency_threshold_ms,
+        ),
+        SloSpec(
+            "snapshot-freshness", "freshness", max_snapshot_age_s,
+            warn_burn=0.75, page_burn=1.0,
+        ),
+    )
 
 _STATUS_REASONS = {
     200: "OK",
@@ -79,13 +123,26 @@ class ModelServer:
         port: int = 8080,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        slo_specs: Optional[Sequence[SloSpec]] = None,
+        clock: Optional[Clock] = None,
     ):
         self.snapshot_path = snapshot_path
         self.host = host
         self.port = port
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self._clock: Clock = clock if clock is not None else time.monotonic
+        self.live = LiveMetrics(clock=self._clock)
+        self.slo = SloEngine(
+            default_slo_specs() if slo_specs is None else slo_specs,
+            clock=self._clock,
+        )
+        for spec in self.slo.specs:
+            if spec.kind == "freshness":
+                self.slo.set_gauge_source(spec.name, self._snapshot_age)
         self.engine: Optional[LookupEngine] = None
+        self._loaded_at: Optional[float] = None
+        self._loaded_at_unix: Optional[float] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
         self._inflight = 0
@@ -100,6 +157,8 @@ class ModelServer:
     def load(self) -> LookupEngine:
         """Load (or initially reload) the snapshot into a fresh engine."""
         self.engine = LookupEngine(load_snapshot(self.snapshot_path))
+        self._loaded_at = self._clock()
+        self._loaded_at_unix = time.time()
         return self.engine
 
     def reload(self) -> Tuple[str, str]:
@@ -111,8 +170,29 @@ class ModelServer:
         old = self.engine.version if self.engine is not None else ""
         engine = LookupEngine(load_snapshot(self.snapshot_path))
         self.engine = engine
+        self._loaded_at = self._clock()
+        self._loaded_at_unix = time.time()
         self.metrics.counter("serve_reloads").increment()
         return old, engine.version
+
+    def _snapshot_age(self) -> float:
+        """Seconds since the serving snapshot was (re)loaded — the
+        freshness-SLO gauge.  An unloaded server reports the full
+        freshness budget as already spent, so an engine that never
+        came up cannot look fresh."""
+        if self._loaded_at is None:
+            ages = [
+                spec.objective * spec.page_burn
+                for spec in self.slo.specs
+                if spec.kind == "freshness"
+            ]
+            return max(ages) if ages else 0.0
+        return self._clock() - self._loaded_at
+
+    @property
+    def ready(self) -> bool:
+        """Readiness: a snapshot is loaded and we are not draining."""
+        return self.engine is not None and not self._closing
 
     # -- server lifecycle ------------------------------------------------------
 
@@ -210,7 +290,9 @@ class ModelServer:
     async def _dispatch(self, writer, method: str, path: str, body: bytes) -> bool:
         self._request_seq += 1
         seq = self._request_seq
-        timer = self.metrics.histogram("serve_request_ms")
+        # Latency lands in the bounded windowed reservoir, never the
+        # batch Histogram: a server must hold O(1) telemetry.
+        reservoir = self.live.reservoir("serve_request_ms")
         loop = asyncio.get_event_loop()
         started = loop.time()
         with self.tracer.span(
@@ -232,13 +314,17 @@ class ModelServer:
             self._requests_served += 1
             self.metrics.counter("serve_requests").increment()
             elapsed_ms = (loop.time() - started) * 1000.0
-            timer.observe(elapsed_ms)
+            reservoir.observe(elapsed_ms)
+            self.live.rate("serve_requests").increment()
+            self.slo.record(ok=status < 500, latency_ms=elapsed_ms)
             span.set_attribute("elapsed_ms", elapsed_ms)
             keep_alive = not self._closing
             await self._send(writer, status, doc, keep_alive=keep_alive)
             return keep_alive
 
-    def _route(self, method: str, path: str, body: bytes, span) -> Tuple[int, Dict]:
+    def _route(
+        self, method: str, path: str, body: bytes, span
+    ) -> Tuple[int, Union[Dict, str]]:
         if path == "/predict":
             if method != "POST":
                 raise RequestError(405, "method-not-allowed", "use POST /predict")
@@ -246,11 +332,28 @@ class ModelServer:
         if path == "/healthz":
             if method != "GET":
                 raise RequestError(405, "method-not-allowed", "use GET /healthz")
+            return self._handle_healthz()
+        if path == "/livez":
+            if method != "GET":
+                raise RequestError(405, "method-not-allowed", "use GET /livez")
+            # Liveness never looks at the model: a draining or
+            # snapshotless server is alive, just not ready.
+            return 200, {"live": True, "inflight": self._inflight}
+        if path == "/metricsz":
+            if method != "GET":
+                raise RequestError(405, "method-not-allowed", "use GET /metricsz")
+            return 200, render_prometheus(
+                self.metrics.snapshot(),
+                live=self.live.snapshot(),
+                slo=[status.to_dict() for status in self.slo.evaluate()],
+            )
+        if path == "/slozz":
+            if method != "GET":
+                raise RequestError(405, "method-not-allowed", "use GET /slozz")
+            statuses = [status.to_dict() for status in self.slo.evaluate()]
             return 200, {
-                "status": "ok",
-                "model_version": self.engine.version,
-                "inflight": self._inflight,
-                "requests_served": self._requests_served,
+                "overall_state": worst_state([s["state"] for s in statuses]),
+                "slos": statuses,
             }
         if path == "/modelz":
             if method != "GET":
@@ -261,6 +364,27 @@ class ModelServer:
                 raise RequestError(405, "method-not-allowed", "use POST /reloadz")
             return self._handle_reload()
         raise RequestError(404, "not-found", f"no route for {path}")
+
+    def _handle_healthz(self) -> Tuple[int, Dict]:
+        if not self.ready:
+            reason = "draining" if self._closing else "no-snapshot-loaded"
+            return 503, {
+                "status": "unavailable",
+                "ready": False,
+                "live": True,
+                "reason": reason,
+                "inflight": self._inflight,
+            }
+        return 200, {
+            "status": "ok",
+            "ready": True,
+            "live": True,
+            "model_version": self.engine.version,
+            "snapshot_age_s": round(self._snapshot_age(), 3),
+            "snapshot_loaded_unix": self._loaded_at_unix,
+            "inflight": self._inflight,
+            "requests_served": self._requests_served,
+        }
 
     def _handle_predict(self, body: bytes, span) -> Tuple[int, Dict]:
         doc = self._parse_body(body)
@@ -301,7 +425,7 @@ class ModelServer:
 
         span.set_attribute("batch_size", len(batch))
         span.set_attribute("decided", batch.decided_count)
-        self.metrics.histogram("serve_batch_size").observe(float(len(batch)))
+        self.live.reservoir("serve_batch_size").observe(float(len(batch)))
         if batch.decided_count == 0:
             # All-quarantined/unmapped: structurally a client-data
             # problem (the model cannot answer for these clients), so
@@ -341,11 +465,19 @@ class ModelServer:
             raise RequestError(400, "bad-request", "request body must be an object")
         return doc
 
-    async def _send(self, writer, status: int, doc: Dict, keep_alive: bool) -> None:
-        payload = json.dumps(doc).encode("utf-8")
+    async def _send(
+        self, writer, status: int, doc: Union[Dict, str], keep_alive: bool
+    ) -> None:
+        if isinstance(doc, str):
+            # Pre-rendered text bodies (the Prometheus exposition).
+            payload = doc.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            payload = json.dumps(doc).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_STATUS_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
@@ -361,6 +493,8 @@ async def run_server(
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
     ready=None,
+    latency_threshold_ms: float = DEFAULT_LATENCY_THRESHOLD_MS,
+    max_snapshot_age_s: float = DEFAULT_MAX_SNAPSHOT_AGE_S,
 ) -> ModelServer:
     """Boot a :class:`ModelServer` and serve until cancelled.
 
@@ -369,7 +503,11 @@ async def run_server(
     Cancellation triggers a graceful shutdown.
     """
     server = ModelServer(
-        snapshot_path, host=host, port=port, metrics=metrics, tracer=tracer
+        snapshot_path, host=host, port=port, metrics=metrics, tracer=tracer,
+        slo_specs=default_slo_specs(
+            latency_threshold_ms=latency_threshold_ms,
+            max_snapshot_age_s=max_snapshot_age_s,
+        ),
     )
     await server.start()
     if ready is not None:

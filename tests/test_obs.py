@@ -420,3 +420,90 @@ class TestCli:
     def test_inspect_trace_missing_file(self, capsys):
         assert main(["inspect-trace", "/nonexistent/trace.jsonl"]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_heartbeat_flag_and_watch_command(self, testbed_path, tmp_path, capsys):
+        """--heartbeat writes a tailable JSONL file; 'anyopt watch
+        --no-follow' renders it; follow mode stops at the final record."""
+        heartbeat = tmp_path / "hb.jsonl"
+        code = main([
+            "discover", "--testbed", testbed_path, "--seed", str(SEED),
+            "--out", str(tmp_path / "model.json"),
+            "--heartbeat", str(heartbeat), "--heartbeat-interval", "0.2",
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+        from repro.obs.heartbeat import load_heartbeats
+
+        records = load_heartbeats(heartbeat)
+        assert records[0]["campaign"] == "discover"
+        assert records[-1]["phase"] == "discover"
+        assert records[-1]["final"] is True
+        assert records[-1]["experiments_done"] > 0
+        assert records[-1]["experiments_total"] > 0
+        # The heartbeat observes the campaign's own counters.
+        assert records[-1]["cache_hits"] + records[-1]["cache_misses"] > 0
+
+        assert main(["watch", str(heartbeat), "--no-follow"]) == 0
+        out = capsys.readouterr().out
+        assert "(final)" in out
+        assert len(out.strip().splitlines()) == len(records)
+
+        # Follow mode reaches the final record and exits on its own.
+        assert main(["watch", str(heartbeat), "--poll", "0.01"]) == 0
+        assert "(final)" in capsys.readouterr().out
+
+    def test_watch_missing_file(self, capsys):
+        assert main(["watch", "/nonexistent/hb.jsonl", "--no-follow"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInspectFunctions:
+    """Direct coverage for the obs.inspect section builders."""
+
+    def _trace(self):
+        tracer = Tracer()
+        with tracer.span("discover"):
+            with tracer.span("provider-matrix") as phase:
+                for i, retries in enumerate((0, 3, 1)):
+                    with tracer.span(
+                        "experiment", key=f"exp:{i}", parent=phase.span_id,
+                        kind="pairwise", subject=f"pair {i}",
+                        retries=retries, faults={"convergence-timeout": retries},
+                    ) as exp:
+                        if retries:
+                            exp.add_event(
+                                "fault", fault="convergence-timeout",
+                                experiment_id=i, attempt=0,
+                            )
+        return tracer.records()
+
+    def test_phase_breakdown_lists_phases(self):
+        from repro.obs.inspect import phase_breakdown
+
+        text = phase_breakdown(self._trace())
+        assert "provider-matrix" in text
+        assert "experiments" in text  # the table header
+        assert phase_breakdown([]) == "(no phase spans in trace)"
+
+    def test_slowest_experiments_ranks_and_truncates(self):
+        from repro.obs.inspect import slowest_experiments
+
+        text = slowest_experiments(self._trace(), top=2)
+        assert "wall (s)" in text  # the table header
+        assert text.count("pair ") == 2  # truncated to top 2 subjects
+        assert slowest_experiments([]) == "(no experiment spans in trace)"
+
+    def test_retry_hot_spots_orders_by_retry_count(self):
+        from repro.obs.inspect import retry_hot_spots
+
+        text = retry_hot_spots(self._trace(), top=10)
+        lines = [l for l in text.splitlines() if "pair" in l]
+        assert "pair 1" in lines[0]  # 3 retries ranks first
+        assert "convergence-timeoutx3" in text
+
+    def test_fault_timeline_counts_events(self):
+        from repro.obs.inspect import fault_timeline
+
+        text = fault_timeline(self._trace())
+        assert "convergence-timeout" in text

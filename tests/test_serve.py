@@ -373,3 +373,151 @@ class TestHttp:
         status, doc = asyncio.run(scenario())
         assert status == 200
         assert doc["summary"]["clients"] > 0
+
+
+async def _http_text(port, path):
+    """GET a text endpoint; returns (status, content_type, body_str)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"GET {path} HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n".encode()
+    )
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    length = 0
+    content_type = ""
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":")[1])
+        elif line.lower().startswith(b"content-type:"):
+            content_type = line.split(b":", 1)[1].strip().decode()
+    body = (await reader.readexactly(length)).decode()
+    writer.close()
+    return status, content_type, body
+
+
+class TestLiveEndpoints:
+    def test_metricsz_is_linted_prometheus_text(self, snapshot_path):
+        from repro.obs.export import lint_prometheus
+
+        async def scenario(server):
+            await _http(server.port, "POST", "/predict", {"sites": [1, 4, 6]})
+            return await _http_text(server.port, "/metricsz")
+
+        status, content_type, body = asyncio.run(
+            _with_server(snapshot_path, scenario)
+        )
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert lint_prometheus(body) == []
+        # Batch counters, live windows, and SLO gauges all present.
+        assert "anyopt_serve_requests_total" in body
+        assert 'anyopt_live_serve_request_ms{quantile="0.99"}' in body
+        assert 'anyopt_slo_state{slo="availability"' in body
+
+    def test_request_latency_stays_out_of_batch_histogram(self, snapshot_path):
+        """The satellite guarantee: serve latency goes to the bounded
+        reservoir, not the unbounded campaign Histogram."""
+
+        async def scenario(server):
+            for _ in range(5):
+                await _http(server.port, "POST", "/predict", {"sites": [1, 4, 6]})
+            return server.metrics.snapshot(), server.live.snapshot()
+
+        batch, live = asyncio.run(_with_server(snapshot_path, scenario))
+        assert "serve_request_ms" not in batch["histograms"]
+        assert "serve_batch_size" not in batch["histograms"]
+        assert live["reservoirs"]["serve_request_ms"]["total"] == 5
+        assert live["rates"]["serve_requests"]["total"] == 5
+
+    def test_metricsz_under_concurrent_predict_load(self, snapshot_path):
+        """Scrapes interleave with a predict burst on one event loop:
+        every scrape answers, lints clean, and no predict is harmed."""
+        from repro.obs.export import lint_prometheus
+
+        async def scenario(server):
+            predicts = [
+                _http(server.port, "POST", "/predict", {"sites": [1, 4, 6]})
+                for _ in range(24)
+            ]
+            scrapes = [_http_text(server.port, "/metricsz") for _ in range(8)]
+            mixed = []
+            for i, task in enumerate(predicts):
+                mixed.append(task)
+                if i % 3 == 0:
+                    mixed.append(scrapes.pop())
+            mixed.extend(scrapes)
+            return await asyncio.gather(*mixed)
+
+        results = asyncio.run(_with_server(snapshot_path, scenario))
+        predict_results = [r for r in results if len(r) == 2]
+        scrape_results = [r for r in results if len(r) == 3]
+        assert len(predict_results) == 24 and len(scrape_results) == 8
+        assert all(status == 200 for status, _ in predict_results)
+        for status, _, body in scrape_results:
+            assert status == 200
+            assert lint_prometheus(body) == []
+
+    def test_slozz_reports_burn_state(self, snapshot_path):
+        async def scenario(server):
+            for _ in range(4):
+                await _http(server.port, "POST", "/predict", {"sites": [1, 4, 6]})
+            return await _http(server.port, "GET", "/slozz")
+
+        status, doc = asyncio.run(_with_server(snapshot_path, scenario))
+        assert status == 200
+        by_name = {slo["name"]: slo for slo in doc["slos"]}
+        assert set(by_name) == {"availability", "p99-latency", "snapshot-freshness"}
+        assert doc["overall_state"] in ("ok", "warn", "page")
+        avail = by_name["availability"]
+        assert avail["state"] == "ok"
+        assert avail["burn_fast"] == 0.0
+        assert 0.0 <= avail["budget_remaining"] <= 1.0
+        fresh = by_name["snapshot-freshness"]
+        assert fresh["state"] == "ok"
+        assert fresh["detail"]["age_s"] < fresh["detail"]["max_age_s"]
+
+    def test_healthz_reports_version_and_age_and_livez_always_200(
+        self, snapshot_path, engine
+    ):
+        async def scenario(server):
+            health = await _http(server.port, "GET", "/healthz")
+            live = await _http(server.port, "GET", "/livez")
+            return health, live
+
+        (hs, health), (ls, live) = asyncio.run(
+            _with_server(snapshot_path, scenario)
+        )
+        assert hs == ls == 200
+        assert health["ready"] is True and health["live"] is True
+        assert health["model_version"] == engine.version
+        assert health["snapshot_age_s"] >= 0.0
+        assert health["snapshot_loaded_unix"] is not None
+        # The /livez request itself is the one in flight.
+        assert live == {"live": True, "inflight": 1}
+
+    def test_healthz_503_when_not_ready(self, snapshot_path):
+        server = ModelServer(snapshot_path, port=0)
+        status, doc = server._handle_healthz()  # no snapshot loaded yet
+        assert status == 503
+        assert doc["ready"] is False and doc["live"] is True
+        assert doc["reason"] == "no-snapshot-loaded"
+
+        server.load()
+        status, doc = server._handle_healthz()
+        assert status == 200 and doc["ready"] is True
+
+        server._closing = True  # draining
+        status, doc = server._handle_healthz()
+        assert status == 503
+        assert doc["reason"] == "draining"
+
+    def test_unloaded_server_freshness_slo_pages(self, snapshot_path):
+        server = ModelServer(snapshot_path, port=0)
+        statuses = {s.name: s for s in server.slo.evaluate()}
+        assert statuses["snapshot-freshness"].state == "page"
+        server.load()
+        statuses = {s.name: s for s in server.slo.evaluate()}
+        assert statuses["snapshot-freshness"].state == "ok"
