@@ -200,6 +200,76 @@ def bench_http(snapshot_path, testbed, quick) -> dict:
     }
 
 
+def _sequential_p50(snapshot_path, testbed, sequential, guard) -> float:
+    """Median keep-alive /predict latency against a server built with
+    ``guard`` — the probe both halves of the guard benchmark share."""
+    configs = _config_sweep(testbed, 8)
+
+    async def scenario():
+        server = ModelServer(snapshot_path, port=0, guard=guard)
+        await server.start()
+        serving = asyncio.ensure_future(server.serve_forever())
+        loop = asyncio.get_running_loop()
+        try:
+            reader_writer = await asyncio.open_connection("127.0.0.1", server.port)
+            for config in configs:  # warm the per-config answer memo
+                await _request(server.port, {"sites": list(config.site_order)},
+                               reader_writer)
+            latencies = []
+            for i in range(sequential):
+                doc = {"sites": list(configs[i % len(configs)].site_order)}
+                t0 = loop.time()
+                status, _ = await _request(server.port, doc, reader_writer)
+                latencies.append((loop.time() - t0) * 1000.0)
+                assert status == 200
+            reader_writer[1].close()
+            return latencies
+        finally:
+            serving.cancel()
+            try:
+                await serving
+            except asyncio.CancelledError:
+                pass
+            await server.shutdown()
+
+    return statistics.median(asyncio.run(scenario()))
+
+
+def bench_guard(snapshot_path, testbed, quick) -> dict:
+    """What the hardening layer costs on the hot path: request p50
+    with the default deadlines/admission vs a fully unguarded server.
+    Trials are interleaved (guarded, unguarded, guarded, ...) and each
+    side keeps its best median, so scheduler noise hits both equally.
+    Budget: <5% of the request p50."""
+    from repro.serve import GuardConfig
+
+    sequential = 100 if quick else 200
+    trials = 3
+    guarded_p50 = float("inf")
+    unguarded_p50 = float("inf")
+    for _ in range(trials):
+        guarded_p50 = min(
+            guarded_p50,
+            _sequential_p50(snapshot_path, testbed, sequential, GuardConfig()),
+        )
+        unguarded_p50 = min(
+            unguarded_p50,
+            _sequential_p50(
+                snapshot_path, testbed, sequential, GuardConfig.unguarded()
+            ),
+        )
+    overhead = max(0.0, guarded_p50 - unguarded_p50) / unguarded_p50
+    return {
+        "sequential_requests": sequential,
+        "trials": trials,
+        "guarded_p50_ms": round(guarded_p50, 3),
+        "unguarded_p50_ms": round(unguarded_p50, 3),
+        "guard_overhead_fraction_of_p50": round(overhead, 5),
+        "budget_fraction": 0.05,
+        "within_budget": overhead < 0.05,
+    }
+
+
 def bench_live(http_stats, quick) -> dict:
     """Per-request cost of the live telemetry hot path — one reservoir
     observe, one rate increment, one SLO record — as a fraction of the
@@ -366,6 +436,14 @@ def main(argv=None) -> int:
         f"{http['concurrent_connections']} connections"
     )
 
+    guard = bench_guard(snapshot_path, testbed, args.quick)
+    print(
+        f"guard: p50 {guard['guarded_p50_ms']}ms guarded vs "
+        f"{guard['unguarded_p50_ms']}ms unguarded "
+        f"({100 * guard['guard_overhead_fraction_of_p50']:.2f}% overhead, "
+        f"budget 5%)"
+    )
+
     live = bench_live(http, args.quick)
     print(
         f"live telemetry: {live['per_request_ms'] * 1000:.1f}us/request "
@@ -396,6 +474,7 @@ def main(argv=None) -> int:
         "model": snapshot.counts,
         "lookup": lookup,
         "http": http,
+        "guard": guard,
         "live": live,
         "reload": reload_stats,
     }
@@ -413,6 +492,12 @@ def main(argv=None) -> int:
     if not live["within_budget"]:
         print(
             "WARNING: live-telemetry overhead above the 10% hot-path budget",
+            file=sys.stderr,
+        )
+        code = 1
+    if not guard["within_budget"]:
+        print(
+            "WARNING: guard overhead above the 5% request-p50 budget",
             file=sys.stderr,
         )
         code = 1

@@ -95,6 +95,29 @@ def _probability(raw: str) -> float:
     return value
 
 
+def _nonneg_float(raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {raw!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative number, got {value}")
+    return value
+
+
+def _timeout_or_none(raw: str) -> Optional[float]:
+    """A positive timeout in seconds, or 0/'none' to disable it."""
+    if raw.strip().lower() in ("none", "off"):
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected seconds or 'none', got {raw!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative timeout, got {value}")
+    return value if value > 0 else None
+
+
 def _settings_from_args(args) -> Optional[CampaignSettings]:
     """Campaign settings from the fault/retry CLI flags; None when no
     flag was given, so commands without the flags keep the defaults."""
@@ -521,7 +544,7 @@ def cmd_serve(args) -> int:
     import asyncio
     import signal
 
-    from repro.serve import ModelServer
+    from repro.serve import GuardConfig, ModelServer, WatchConfig
 
     snapshot_path = args.snapshot
     if snapshot_path is None:
@@ -536,6 +559,25 @@ def cmd_serve(args) -> int:
 
     from repro.serve.http import default_slo_specs
 
+    guard = GuardConfig(
+        header_timeout_s=args.header_timeout,
+        body_timeout_s=args.body_timeout,
+        handler_timeout_s=args.request_timeout,
+        write_timeout_s=args.write_timeout,
+        idle_timeout_s=args.idle_timeout,
+        max_connections=args.max_connections,
+        max_inflight=args.max_inflight,
+        max_header_count=args.max_headers,
+        retry_after_s=args.shed_retry_after,
+    )
+    watch = None
+    if args.watch:
+        watch = WatchConfig(
+            poll_interval_s=args.watch_interval,
+            debounce_s=args.watch_debounce,
+            backoff_base_s=args.watch_backoff,
+            max_backoff_s=args.watch_max_backoff,
+        )
     server = ModelServer(
         snapshot_path,
         host=args.host,
@@ -544,15 +586,25 @@ def cmd_serve(args) -> int:
             latency_threshold_ms=args.latency_slo_ms,
             max_snapshot_age_s=args.max_snapshot_age,
         ),
+        guard=guard,
+        watch=watch,
     )
     server.load()  # fail fast on a corrupt snapshot, before binding
 
     def _hot_reload():
-        try:
-            old, new = server.reload()
-            print(f"reloaded snapshot: {old} -> {new}")
-        except ReproError as exc:
-            print(f"reload failed, old model keeps serving: {exc}", file=sys.stderr)
+        # Signal handlers run on the loop thread: schedule the
+        # off-loop async reload instead of blocking the loop on I/O.
+        async def _do():
+            try:
+                old, new = await server.reload_async()
+                print(f"reloaded snapshot: {old} -> {new}")
+            except ReproError as exc:
+                print(
+                    f"reload failed, old model keeps serving: {exc}",
+                    file=sys.stderr,
+                )
+
+        asyncio.ensure_future(_do())
 
     async def _serve() -> None:
         await server.start()
@@ -561,8 +613,9 @@ def cmd_serve(args) -> int:
             f"http://{server.host}:{server.port} "
             "(POST /predict, GET /healthz /livez /metricsz /slozz /modelz, "
             "POST /reloadz)"
+            + (" [watching snapshot for republish]" if watch else "")
         )
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
         stop = asyncio.Event()
         for sig in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(sig, stop.set)
@@ -576,7 +629,7 @@ def cmd_serve(args) -> int:
             await serving
         except asyncio.CancelledError:
             pass
-        await server.shutdown()
+        await server.shutdown(grace_s=args.drain_grace)
 
     asyncio.run(_serve())
     if getattr(args, "trace", None):
@@ -586,6 +639,39 @@ def cmd_serve(args) -> int:
         write_prometheus(server.metrics.snapshot(), args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
     return 0
+
+
+def cmd_chaos(args) -> int:
+    from repro.report import render_chaos_report
+    from repro.serve import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        seed=args.seed,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        publishes=args.publishes,
+        request_fault_prob=args.fault_prob,
+        publish_corrupt_prob=args.corrupt_prob,
+        watch_interval_s=args.watch_interval,
+        watch_debounce_s=args.watch_debounce,
+        header_timeout_s=args.header_timeout,
+        write_timeout_s=args.write_timeout,
+        max_inflight=args.max_inflight,
+        client_timeout_s=args.client_timeout,
+    )
+    report = run_chaos(
+        args.snapshot, config, host=args.host, port=args.port
+    )
+    print(render_chaos_report(report))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"chaos report written to {args.report}")
+    if args.metricsz_out and getattr(report, "metricsz_text", ""):
+        with open(args.metricsz_out, "w", encoding="utf-8") as fh:
+            fh.write(report.metricsz_text)
+        print(f"scraped /metricsz written to {args.metricsz_out}")
+    return 0 if report.passed else 4
 
 
 def cmd_inspect_trace(args) -> int:
@@ -1053,7 +1139,222 @@ def build_parser() -> argparse.ArgumentParser:
         help="freshness-SLO budget: /slozz warns at 75%% of this snapshot "
         "age and pages past it (default: 86400 = one day)",
     )
+    p.add_argument(
+        "--request-timeout",
+        type=_timeout_or_none,
+        default=30.0,
+        metavar="SECONDS",
+        help="handler deadline per request; expiry sheds a structured 503 "
+        "(default: 30; 0 or 'none' disables)",
+    )
+    p.add_argument(
+        "--header-timeout",
+        type=_timeout_or_none,
+        default=10.0,
+        metavar="SECONDS",
+        help="deadline for reading a request's header section — the "
+        "slow-loris bound (default: 10; 0 or 'none' disables)",
+    )
+    p.add_argument(
+        "--body-timeout",
+        type=_timeout_or_none,
+        default=30.0,
+        metavar="SECONDS",
+        help="deadline for reading a request body (default: 30)",
+    )
+    p.add_argument(
+        "--write-timeout",
+        type=_timeout_or_none,
+        default=30.0,
+        metavar="SECONDS",
+        help="deadline for flushing a response to a slow-reading client; "
+        "expiry aborts the connection (default: 30)",
+    )
+    p.add_argument(
+        "--idle-timeout",
+        type=_timeout_or_none,
+        default=120.0,
+        metavar="SECONDS",
+        help="reap a keep-alive connection idle this long (default: 120)",
+    )
+    p.add_argument(
+        "--max-connections",
+        type=_positive_int,
+        default=1024,
+        metavar="N",
+        help="connection admission cap; excess connections are shed with a "
+        "structured 503 + Retry-After (default: 1024)",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="in-flight request cap; excess requests are shed with a "
+        "structured 429 + Retry-After (default: 64)",
+    )
+    p.add_argument(
+        "--max-headers",
+        type=_positive_int,
+        default=100,
+        metavar="N",
+        help="per-request header-line cap; excess answers 431 (default: 100)",
+    )
+    p.add_argument(
+        "--shed-retry-after",
+        type=_positive_float,
+        default=1.0,
+        metavar="SECONDS",
+        help="Retry-After advertised on shed responses (default: 1)",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=_positive_float,
+        default=10.0,
+        metavar="SECONDS",
+        help="graceful-shutdown drain budget; past it, stuck handlers are "
+        "cancelled and their transports aborted (default: 10)",
+    )
+    p.add_argument(
+        "--watch",
+        action="store_true",
+        help="reload-on-publish: poll the snapshot path and hot-swap the "
+        "model when a new version is atomically published",
+    )
+    p.add_argument(
+        "--watch-interval",
+        type=_positive_float,
+        default=2.0,
+        metavar="SECONDS",
+        help="snapshot watcher poll interval (default: 2)",
+    )
+    p.add_argument(
+        "--watch-debounce",
+        type=_nonneg_float,
+        default=0.5,
+        metavar="SECONDS",
+        help="how long a new snapshot stat must hold still before the "
+        "watcher loads it (default: 0.5)",
+    )
+    p.add_argument(
+        "--watch-backoff",
+        type=_positive_float,
+        default=2.0,
+        metavar="SECONDS",
+        help="base backoff after a failed watcher load; doubles per "
+        "consecutive failure (default: 2)",
+    )
+    p.add_argument(
+        "--watch-max-backoff",
+        type=_positive_float,
+        default=300.0,
+        metavar="SECONDS",
+        help="backoff ceiling for the watcher circuit breaker (default: 300)",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "chaos",
+        help="storm a model server with seeded hostile-client faults and "
+        "snapshot publish churn, then assert the serving invariants",
+    )
+    p.add_argument(
+        "--snapshot", required=True,
+        help="snapshot path the server serves (and the harness republishes)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=_port,
+        default=None,
+        help="port of an already-running 'anyopt serve --watch' to storm; "
+        "omit to self-host a guarded server in-process",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=60,
+        help="request events in the storm (default: 60)",
+    )
+    p.add_argument(
+        "--concurrency",
+        type=_positive_int,
+        default=6,
+        help="concurrent chaos clients (default: 6)",
+    )
+    p.add_argument(
+        "--publishes",
+        type=int,
+        default=4,
+        help="mid-storm snapshot publish events; a final good publish is "
+        "always appended (default: 4)",
+    )
+    p.add_argument(
+        "--fault-prob",
+        type=_probability,
+        default=0.25,
+        help="per-request hostile-client fault probability (default: 0.25)",
+    )
+    p.add_argument(
+        "--corrupt-prob",
+        type=_probability,
+        default=0.5,
+        help="per-publish corrupt-snapshot probability (default: 0.5)",
+    )
+    p.add_argument(
+        "--watch-interval",
+        type=_positive_float,
+        default=0.25,
+        metavar="SECONDS",
+        help="watcher poll interval assumed on the server — match the "
+        "server's --watch-interval (default: 0.25)",
+    )
+    p.add_argument(
+        "--watch-debounce",
+        type=_nonneg_float,
+        default=0.0,
+        metavar="SECONDS",
+        help="watcher debounce assumed on the server (default: 0)",
+    )
+    p.add_argument(
+        "--header-timeout",
+        type=_positive_float,
+        default=0.5,
+        metavar="SECONDS",
+        help="header deadline assumed on the server — match the server's "
+        "--header-timeout (default: 0.5)",
+    )
+    p.add_argument(
+        "--write-timeout",
+        type=_positive_float,
+        default=0.5,
+        metavar="SECONDS",
+        help="write deadline assumed on the server (default: 0.5)",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=4,
+        help="in-flight cap assumed on the server (default: 4)",
+    )
+    p.add_argument(
+        "--client-timeout",
+        type=_positive_float,
+        default=20.0,
+        metavar="SECONDS",
+        help="client-side per-request give-up; any hit fails the "
+        "no-client-timeouts invariant (default: 20)",
+    )
+    p.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the JSON chaos report here",
+    )
+    p.add_argument(
+        "--metricsz-out", default=None, metavar="PATH",
+        help="write the post-storm /metricsz scrape here",
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "inspect-trace",

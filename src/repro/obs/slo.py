@@ -58,6 +58,12 @@ class SloSpec:
             freshness.
         latency_threshold_ms: the "fast enough" bound for ``latency``
             specs (required there, meaningless elsewhere).
+        stream: which outcome stream feeds this spec.  ``record``
+            calls carry a stream label (default ``"requests"``) and
+            only touch specs subscribed to it — so an objective over a
+            different population (e.g. a shed-rate SLO where "good"
+            means "not load-shed") keeps its own books instead of
+            polluting request availability.
         fast_window_s / slow_window_s: the two burn-rate windows.
         warn_burn / page_burn: burn-rate thresholds; a level trips
             when both windows exceed it.  For freshness the "burn" is
@@ -71,6 +77,7 @@ class SloSpec:
     kind: str
     objective: float
     latency_threshold_ms: Optional[float] = None
+    stream: str = "requests"
     fast_window_s: float = 300.0
     slow_window_s: float = 3600.0
     warn_burn: float = 1.0
@@ -100,6 +107,8 @@ class SloSpec:
             raise ConfigurationError(
                 "a latency SLO needs latency_threshold_ms > 0"
             )
+        if not self.stream:
+            raise ConfigurationError("an SLO needs a non-empty stream label")
         if self.fast_window_s <= 0 or self.slow_window_s < self.fast_window_s:
             raise ConfigurationError(
                 "SLO windows need 0 < fast_window_s <= slow_window_s"
@@ -212,14 +221,22 @@ class SloEngine:
 
     # -- recording -----------------------------------------------------------
 
-    def record(self, ok: bool, latency_ms: Optional[float] = None) -> None:
-        """Fold one request into every request-driven spec.
+    def record(
+        self,
+        ok: bool,
+        latency_ms: Optional[float] = None,
+        stream: str = "requests",
+    ) -> None:
+        """Fold one outcome into every request-driven spec subscribed
+        to ``stream``.
 
         ``ok`` means "not a server fault" and drives availability;
         ``latency_ms`` (when provided) drives latency specs, where a
         request is good iff it beat the spec's threshold.
         """
         for spec in self.specs:
+            if spec.stream != stream:
+                continue
             if spec.kind == "availability":
                 self._count(spec.name, good=ok)
             elif spec.kind == "latency" and latency_ms is not None:

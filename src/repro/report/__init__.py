@@ -11,6 +11,8 @@ any plotting dependency:
 - :func:`render_audit_report` — integrity-audit findings and quarantine;
 - :func:`render_prediction_batch` — a typed prediction batch with its
   reason census;
+- :func:`render_chaos_report` — the ``anyopt chaos`` verdict with its
+  per-invariant evidence;
 - :func:`render_heartbeat` / :func:`render_heartbeat_history` — the
   ``anyopt watch`` one-line campaign-progress format.
 """
@@ -19,6 +21,7 @@ from repro.report.text import (
     render_audit_report,
     render_catchment_bars,
     render_cdf,
+    render_chaos_report,
     render_heartbeat,
     render_heartbeat_history,
     render_histogram,
@@ -31,6 +34,7 @@ __all__ = [
     "render_audit_report",
     "render_catchment_bars",
     "render_cdf",
+    "render_chaos_report",
     "render_heartbeat",
     "render_heartbeat_history",
     "render_histogram",

@@ -338,3 +338,49 @@ def render_catchment_bars(
             f"site {site:<2} {bar:<{width // 2 * 2}} {count:>4} ({100 * frac:5.1f}%)"
         )
     return "\n".join(lines)
+
+
+def render_chaos_report(report) -> str:
+    """Render a :class:`~repro.serve.chaos.ChaosReport`: the verdict
+    headline, what was injected, the status census, and one line per
+    invariant with its evidence."""
+    doc = report.to_dict() if hasattr(report, "to_dict") else dict(report)
+    verdict = "PASS" if doc["passed"] else "FAIL"
+    sections: List[str] = [
+        f"chaos: {verdict} — seed {doc['seed']}, {doc['requests']} request "
+        f"event(s), {sum(doc['publishes'].values())} publish(es), "
+        f"{doc['duration_s']:.1f}s ({doc['mode']})"
+    ]
+    faults = doc["faults_injected"]
+    if faults:
+        sections.append(
+            render_table(
+                ["fault", "count"],
+                [[kind, str(faults[kind])] for kind in sorted(faults)],
+            )
+        )
+    statuses = doc["statuses"]
+    if statuses:
+        sections.append(
+            render_table(
+                ["outcome", "count"],
+                [[key, str(statuses[key])] for key in sorted(statuses)],
+            )
+        )
+    sections.append(
+        f"answers checked: {doc['answers_checked']}, "
+        f"mismatches: {len(doc['mismatches'])}, "
+        f"unexpected 5xx: {len(doc['internal_errors'])}, "
+        f"sheds observed: {doc['sheds_observed']}"
+    )
+    sections.append(
+        f"model versions: final {doc['final_version'] or '?'} "
+        f"(expected {doc['expected_final_version']}), "
+        f"seen while storming: {', '.join(doc['versions_seen']) or '-'}"
+    )
+    lines = []
+    for inv in doc["invariants"]:
+        mark = "ok " if inv["passed"] else "FAIL"
+        lines.append(f"[{mark}] {inv['name']}: {inv['detail']}")
+    sections.append("\n".join(lines))
+    return "\n\n".join(sections)

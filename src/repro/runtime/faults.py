@@ -23,9 +23,16 @@ experiment_id, attempt)`` — never by wall-clock or completion order —
 so a pooled campaign injects bit-identical faults to a serial one, and
 a retry (next ``attempt`` nonce) re-derives fresh fault noise instead
 of deterministically re-failing.
+
+The serving layer has its own hostile-network failure modes —
+slow-loris reads, torn request bodies, clients that stop reading their
+responses, corrupt snapshot publishes — modelled by
+:class:`ServeFaultInjector` with the same seed-keyed determinism
+(``(seed, "serve-fault", scope, index)``), consumed by the
+``anyopt chaos`` harness (:mod:`repro.serve.chaos`).
 """
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.obs.log import get_logger
 from repro.runtime.metrics import MetricsRegistry
@@ -136,3 +143,81 @@ class FaultInjector:
             f"injected {fault} fault (experiment {experiment_id}, "
             f"attempt {attempt})"
         )
+
+
+#: Serve-path fault kinds the chaos harness can inject.  The first
+#: three are hostile-client behaviours applied to individual requests;
+#: ``corrupt-snapshot`` is a publisher-side fault applied to snapshot
+#: publish events.
+SERVE_FAULT_KINDS = ("slow-read", "torn-body", "stalled-write", "corrupt-snapshot")
+
+#: The subset of SERVE_FAULT_KINDS that applies to requests.
+SERVE_REQUEST_FAULTS = tuple(k for k in SERVE_FAULT_KINDS if k != "corrupt-snapshot")
+
+
+class ServeFaultInjector:
+    """Plans seeded serve-path faults for the chaos harness.
+
+    Unlike :class:`FaultInjector` (which *raises* into campaign code),
+    this one only *decides*: the harness asks which fault, if any, to
+    apply to request ``index`` or publish ``index``, then acts the
+    hostile client or corrupt publisher itself.  Decisions are keyed
+    by ``(seed, "serve-fault", scope, index)`` — independent of
+    timing, concurrency, and completion order — so a chaos run is
+    reproducible from its seed alone.
+    """
+
+    def __init__(
+        self,
+        seed,
+        request_fault_prob: float = 0.25,
+        publish_corrupt_prob: float = 0.5,
+        kinds: Sequence[str] = SERVE_REQUEST_FAULTS,
+    ):
+        if not 0.0 <= request_fault_prob <= 1.0:
+            raise ValueError(
+                f"request_fault_prob must be in [0, 1], got {request_fault_prob}"
+            )
+        if not 0.0 <= publish_corrupt_prob <= 1.0:
+            raise ValueError(
+                f"publish_corrupt_prob must be in [0, 1], got {publish_corrupt_prob}"
+            )
+        unknown = set(kinds) - set(SERVE_REQUEST_FAULTS)
+        if unknown:
+            raise ValueError(
+                f"unknown serve fault kinds {sorted(unknown)}; "
+                f"choose from {SERVE_REQUEST_FAULTS}"
+            )
+        self.seed = seed
+        self.request_fault_prob = request_fault_prob
+        self.publish_corrupt_prob = publish_corrupt_prob
+        self.kinds = tuple(kinds)
+
+    def request_fault(self, index: int) -> Optional[str]:
+        """Which hostile-client fault (if any) request ``index`` gets."""
+        if not self.kinds or self.request_fault_prob <= 0.0:
+            return None
+        rng = derive_rng(self.seed, "serve-fault", "request", index)
+        if rng.random() >= self.request_fault_prob:
+            return None
+        return self.kinds[rng.randrange(len(self.kinds))]
+
+    def publish_corrupt(self, index: int) -> bool:
+        """Whether publish event ``index`` ships corrupt bytes."""
+        if self.publish_corrupt_prob <= 0.0:
+            return False
+        rng = derive_rng(self.seed, "serve-fault", "publish", index)
+        return rng.random() < self.publish_corrupt_prob
+
+    def jitter(self, scope: str, index: int, lo: float, hi: float) -> float:
+        """A seeded delay in ``[lo, hi]`` for pacing fault behaviour
+        (e.g. how slowly a slow-loris trickles)."""
+        rng = derive_rng(self.seed, "serve-fault", scope, index)
+        return lo + (hi - lo) * rng.random()
+
+    def plan(self, requests: int, publishes: int) -> Tuple[dict, dict]:
+        """The full decision tables for a run — what the chaos report
+        records so a failure is diagnosable from the artifact."""
+        request_plan = {i: self.request_fault(i) for i in range(requests)}
+        publish_plan = {i: self.publish_corrupt(i) for i in range(publishes)}
+        return request_plan, publish_plan

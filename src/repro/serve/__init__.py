@@ -13,7 +13,15 @@ service instead of a one-shot CLI invocation:
   :class:`~repro.core.prediction.CatchmentPredictor`;
 - :mod:`repro.serve.http` — an asyncio HTTP/JSON front end
   (``anyopt serve``) with ``/predict``, ``/healthz``, ``/modelz``,
-  graceful shutdown, and hot snapshot reload.
+  graceful shutdown, and hot snapshot reload;
+- :mod:`repro.serve.guard` — request deadlines, admission control, and
+  load shedding (the hardening layer behind ``--request-timeout``,
+  ``--max-inflight``, ``--max-connections``);
+- :mod:`repro.serve.watch` — the ``--watch`` reload-on-publish
+  watcher with a corrupt-publish circuit breaker;
+- :mod:`repro.serve.chaos` — the ``anyopt chaos`` harness that storms
+  a live server with seeded hostile-client faults and publish churn,
+  then asserts the serving invariants.
 """
 
 from repro.serve.snapshot import (
@@ -27,14 +35,31 @@ from repro.serve.snapshot import (
     write_snapshot,
 )
 from repro.serve.lookup import LookupEngine
+from repro.serve.guard import GuardConfig, GuardTimeout, ServeGuard
+from repro.serve.watch import SnapshotWatcher, WatchConfig
 from repro.serve.http import ModelServer, RequestError, run_server
+from repro.serve.chaos import (
+    ChaosConfig,
+    ChaosReport,
+    run_chaos,
+    run_chaos_async,
+)
 
 __all__ = [
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
+    "ChaosConfig",
+    "ChaosReport",
+    "GuardConfig",
+    "GuardTimeout",
     "LookupEngine",
     "ModelServer",
     "RequestError",
+    "ServeGuard",
+    "SnapshotWatcher",
+    "WatchConfig",
+    "run_chaos",
+    "run_chaos_async",
     "run_server",
     "Snapshot",
     "SnapshotError",

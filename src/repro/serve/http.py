@@ -20,10 +20,22 @@ Endpoints:
 - ``GET /metricsz`` — Prometheus text exposition: batch counters plus
   the rolling-window gauges and SLO states.
 - ``GET /slozz`` — SLO / burn-rate state as JSON.
-- ``GET /modelz`` — the snapshot's :meth:`Snapshot.describe` document.
+- ``GET /modelz`` — the snapshot's :meth:`Snapshot.describe` document
+  (plus the reload-on-publish watcher state when ``--watch`` is on).
 - ``POST /reloadz`` — hot reload: re-load the snapshot path (atomic
   publish by :func:`~repro.serve.snapshot.write_snapshot` guarantees a
   complete file) and swap the engine.
+
+Resilience (see :mod:`repro.serve.guard` / :mod:`repro.serve.watch`):
+every request runs under per-phase deadlines (idle keep-alive reap,
+header read, body read, handler, response drain), connections and
+in-flight requests are admission-capped with structured ``503`` /
+``429 Retry-After`` shedding, an overlong request line or header
+section answers ``400``/``431`` instead of killing the connection
+task, and ``--watch`` runs a reload-on-publish watcher whose
+``load_snapshot`` happens off-loop in a worker thread.  A dedicated
+``shed-rate`` SLO (stream ``"sheds"``) tracks the shed fraction
+separately from request availability.
 
 Request latency is recorded in the bounded
 :class:`~repro.obs.live.WindowReservoir`, *not* the batch
@@ -37,13 +49,17 @@ event-loop thread — an in-flight request finishes against the model
 version it started with, and the old mmap stays valid until its last
 reader drops it.  Nothing is dropped or torn.
 
-Shutdown is graceful: the listener closes first, in-flight requests
-drain (bounded by a grace period), then idle keep-alive connections
-are closed.
+Shutdown is graceful but bounded: the listener closes first, in-flight
+requests drain within a grace period, then any still-stuck handler
+tasks are cancelled and their transports aborted — the process can
+always exit.
 """
 
 import asyncio
+import contextlib
 import json
+import math
+import socket
 import time
 from typing import Dict, Optional, Sequence, Tuple, Union
 
@@ -53,8 +69,10 @@ from repro.obs.live import Clock, LiveMetrics
 from repro.obs.slo import SloEngine, SloSpec, worst_state
 from repro.obs.trace import Tracer
 from repro.runtime.metrics import MetricsRegistry
+from repro.serve.guard import GuardConfig, GuardTimeout, ServeGuard
 from repro.serve.lookup import LookupEngine
 from repro.serve.snapshot import SnapshotError, load_snapshot
+from repro.serve.watch import SnapshotWatcher, WatchConfig
 from repro.util.errors import ReproError
 
 #: Largest accepted request body; /predict bodies are tiny id lists.
@@ -66,14 +84,19 @@ DEFAULT_LATENCY_THRESHOLD_MS = 250.0
 #: Default maximum acceptable snapshot age before freshness pages.
 DEFAULT_MAX_SNAPSHOT_AGE_S = 86400.0
 
+#: Default objective for the shed-rate SLO: at most 1% of offered
+#: requests may be load-shed before the server is paged.
+DEFAULT_SHED_RATE_OBJECTIVE = 0.99
+
 
 def default_slo_specs(
     latency_threshold_ms: float = DEFAULT_LATENCY_THRESHOLD_MS,
     max_snapshot_age_s: float = DEFAULT_MAX_SNAPSHOT_AGE_S,
 ) -> Tuple[SloSpec, ...]:
     """The server's stock SLOs: 99.9% availability, 99% of requests
-    under the latency threshold, and a snapshot-freshness age bound
-    (warn at 75% of the budget, page past it)."""
+    under the latency threshold, a snapshot-freshness age bound
+    (warn at 75% of the budget, page past it), and a shed-rate bound
+    fed from the admission-control stream (good = not shed)."""
     return (
         SloSpec("availability", "availability", 0.999),
         SloSpec(
@@ -84,6 +107,10 @@ def default_slo_specs(
             "snapshot-freshness", "freshness", max_snapshot_age_s,
             warn_burn=0.75, page_burn=1.0,
         ),
+        SloSpec(
+            "shed-rate", "availability", DEFAULT_SHED_RATE_OBJECTIVE,
+            stream="sheds",
+        ),
     )
 
 _STATUS_REASONS = {
@@ -91,8 +118,12 @@ _STATUS_REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
     503: "Service Unavailable",
 }
 
@@ -114,6 +145,12 @@ class ModelServer:
     ``host``/``port`` follow ``asyncio.start_server`` conventions
     (``port=0`` binds an ephemeral port, reported by :attr:`port` once
     started — what the tests and the smoke job use).
+
+    ``guard`` is the resilience knob set (defaults applied when None);
+    ``watch`` enables the reload-on-publish watcher.  ``chaos_hook``
+    (an optional ``async hook(method, path)``) is awaited before every
+    route handler — the chaos harness and the guard tests use it to
+    make handlers slow or hang on demand.
     """
 
     def __init__(
@@ -125,6 +162,8 @@ class ModelServer:
         tracer: Optional[Tracer] = None,
         slo_specs: Optional[Sequence[SloSpec]] = None,
         clock: Optional[Clock] = None,
+        guard: Optional[GuardConfig] = None,
+        watch: Optional[WatchConfig] = None,
     ):
         self.snapshot_path = snapshot_path
         self.host = host
@@ -140,11 +179,20 @@ class ModelServer:
         for spec in self.slo.specs:
             if spec.kind == "freshness":
                 self.slo.set_gauge_source(spec.name, self._snapshot_age)
+        self.guard = ServeGuard(
+            guard if guard is not None else GuardConfig(), self.metrics
+        )
+        self.watch_config = watch
+        self.watcher: Optional[SnapshotWatcher] = None
+        self._watch_task: Optional[asyncio.Task] = None
+        self.chaos_hook = None
         self.engine: Optional[LookupEngine] = None
         self._loaded_at: Optional[float] = None
         self._loaded_at_unix: Optional[float] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
+        self._conn_tasks: Dict = {}
+        self._reload_lock: Optional[asyncio.Lock] = None
         self._inflight = 0
         self._requests_served = 0
         self._request_seq = 0
@@ -166,14 +214,36 @@ class ModelServer:
 
         Returns ``(old_version, new_version)``.  On any load failure
         the old engine keeps serving — reload is all-or-nothing.
+        Synchronous (blocks the caller); the serving paths use
+        :meth:`reload_async`.
         """
         old = self.engine.version if self.engine is not None else ""
         engine = LookupEngine(load_snapshot(self.snapshot_path))
+        self._swap(engine)
+        return old, engine.version
+
+    async def reload_async(self) -> Tuple[str, str]:
+        """Hot-swap like :meth:`reload`, but the load — checksum read,
+        mmap, engine index build — runs off-loop in a worker thread so
+        a multi-GB snapshot never stalls in-flight requests.  A lock
+        serializes concurrent reloads (watcher poll, ``POST /reloadz``,
+        SIGHUP); the swap itself is one attribute assignment on the
+        event-loop thread."""
+        if self._reload_lock is None:
+            self._reload_lock = asyncio.Lock()
+        async with self._reload_lock:
+            old = self.engine.version if self.engine is not None else ""
+            engine = await asyncio.to_thread(
+                lambda: LookupEngine(load_snapshot(self.snapshot_path))
+            )
+            self._swap(engine)
+            return old, engine.version
+
+    def _swap(self, engine: LookupEngine) -> None:
         self.engine = engine
         self._loaded_at = self._clock()
         self._loaded_at_unix = time.time()
         self.metrics.counter("serve_reloads").increment()
-        return old, engine.version
 
     def _snapshot_age(self) -> float:
         """Seconds since the serving snapshot was (re)loaded — the
@@ -194,6 +264,12 @@ class ModelServer:
         """Readiness: a snapshot is loaded and we are not draining."""
         return self.engine is not None and not self._closing
 
+    @property
+    def open_connections(self) -> int:
+        """Live connection count (the chaos harness asserts this is
+        zero after shutdown)."""
+        return len(self._connections)
+
     # -- server lifecycle ------------------------------------------------------
 
     async def start(self) -> None:
@@ -203,6 +279,9 @@ class ModelServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.watch_config is not None:
+            self.watcher = SnapshotWatcher(self, self.watch_config)
+            self._watch_task = asyncio.ensure_future(self.watcher.run())
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -210,42 +289,78 @@ class ModelServer:
             await self._server.serve_forever()
 
     async def shutdown(self, grace_s: float = 10.0) -> None:
-        """Stop accepting, drain in-flight requests, close idle
-        connections."""
+        """Stop accepting, drain in-flight requests (bounded by
+        ``grace_s``), close idle connections — and if the grace period
+        expires with handlers still stuck, cancel their connection
+        tasks and abort the transports so the process can always
+        exit."""
         self._closing = True
+        if self._watch_task is not None:
+            self._watch_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._watch_task
+            self._watch_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         try:
             await asyncio.wait_for(self._drained.wait(), grace_s)
-        except asyncio.TimeoutError:  # pragma: no cover - only on stuck handlers
-            pass
+        except asyncio.TimeoutError:
+            self.metrics.counter("serve_drain_forced").increment()
+            for task in list(self._conn_tasks.values()):
+                task.cancel()
+            for writer in list(self._connections):
+                with contextlib.suppress(Exception):
+                    writer.transport.abort()
         for writer in list(self._connections):
             writer.close()
+        leftovers = [t for t in self._conn_tasks.values() if not t.done()]
+        if leftovers:
+            await asyncio.gather(*leftovers, return_exceptions=True)
 
     # -- connection handling ---------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
+        if not self.guard.admit_connection(len(self._connections)):
+            # Over the connection cap: shed with a structured 503 and
+            # close — this client must reconnect after Retry-After.
+            self.slo.record(ok=False, stream="sheds")
+            try:
+                await self._send(
+                    writer, 503,
+                    self.guard.shed_doc(
+                        503, "shed-connection",
+                        "connection limit reached, retry later",
+                    ),
+                    keep_alive=False, retry_after=True,
+                )
+            except (ConnectionError, GuardTimeout):
+                pass
+            finally:
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+            return
         self._connections.add(writer)
+        self._conn_tasks[writer] = asyncio.current_task()
+        self._tune_transport(writer)
         try:
             while not self._closing:
                 request = await self._read_request(reader, writer)
                 if request is None:
                     break
                 method, path, body = request
-                self._inflight += 1
-                self._drained.clear()
-                try:
-                    keep_alive = await self._dispatch(writer, method, path, body)
-                finally:
-                    self._inflight -= 1
-                    if self._inflight == 0:
-                        self._drained.set()
+                keep_alive = await self._dispatch(writer, method, path, body)
                 if not keep_alive:
                     break
-        except (ConnectionResetError, asyncio.IncompleteReadError):
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except GuardTimeout:
+            # A write deadline fired mid-response; the transport was
+            # already aborted by _send.
             pass
         finally:
+            self._conn_tasks.pop(writer, None)
             self._connections.discard(writer)
             writer.close()
             try:
@@ -253,10 +368,43 @@ class ModelServer:
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
 
+    def _tune_transport(self, writer) -> None:
+        cfg = self.guard.config
+        if cfg.so_sndbuf is not None:
+            sock = writer.transport.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, cfg.so_sndbuf)
+        if cfg.write_high_water is not None:
+            writer.transport.set_write_buffer_limits(high=cfg.write_high_water)
+
     async def _read_request(self, reader, writer):
         """One HTTP/1.1 request: ``(method, path, body)`` or None when
-        the peer closed the connection."""
-        line = await reader.readline()
+        the peer closed the connection (or a read deadline / stream
+        limit ended it — answered in place, never a crashed task)."""
+        cfg = self.guard.config
+        # Deadline fast path: when the bytes a read needs already sit
+        # in the stream buffer (one-segment requests, pipelining), the
+        # read completes without touching the loop — arming a timer
+        # for it would be pure hot-path overhead, so skip it.
+        buffered = getattr(reader, "_buffer", b"")
+        try:
+            if b"\n" in buffered:
+                line = await reader.readline()
+            else:
+                line = await self.guard.timed(
+                    reader.readline(), cfg.idle_timeout_s, "idle"
+                )
+        except GuardTimeout:
+            # Idle keep-alive reaper: no request started, close quietly.
+            return None
+        except ValueError:
+            # readline() overran the stream limit: an absurd request
+            # line.  Answer 400 and close instead of crashing the task.
+            await self._send_limit_error(
+                writer, 400, "request-line-too-long",
+                "request line exceeds the server's line limit",
+            )
+            return None
         if not line:
             return None
         parts = line.decode("latin-1").split()
@@ -267,25 +415,85 @@ class ModelServer:
             }, keep_alive=False)
             return None
         method, target, _version = parts
-        content_length = 0
-        while True:
-            header = await reader.readline()
-            if header in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = header.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    content_length = -1
+        try:
+            if b"\r\n\r\n" in getattr(reader, "_buffer", b""):
+                # The whole header section (terminated by a blank
+                # line) is already buffered: no deadline needed.
+                content_length = await self._read_headers(reader)
+            else:
+                content_length = await self.guard.timed(
+                    self._read_headers(reader), cfg.header_timeout_s, "header"
+                )
+        except GuardTimeout as exc:
+            # Slow-loris: the header section blew its deadline.
+            await self._send_limit_error(writer, 408, "header-timeout", str(exc))
+            return None
+        except RequestError as exc:
+            await self._send_limit_error(
+                writer, exc.status, exc.doc["error"]["code"], str(exc)
+            )
+            return None
         if content_length < 0 or content_length > MAX_BODY_BYTES:
             await self._send(writer, 413, {
                 "error": {"status": 413, "code": "payload-too-large",
                           "message": f"body must be <= {MAX_BODY_BYTES} bytes"}
             }, keep_alive=False)
             return None
-        body = await reader.readexactly(content_length) if content_length else b""
+        body = b""
+        if content_length:
+            try:
+                if len(getattr(reader, "_buffer", b"")) >= content_length:
+                    body = await reader.readexactly(content_length)
+                else:
+                    body = await self.guard.timed(
+                        reader.readexactly(content_length),
+                        cfg.body_timeout_s, "body",
+                    )
+            except GuardTimeout as exc:
+                await self._send_limit_error(writer, 408, "body-timeout", str(exc))
+                return None
+            except asyncio.IncompleteReadError:
+                # Torn body: the peer quit mid-upload, nothing to answer.
+                self.metrics.counter("serve_torn_bodies").increment()
+                return None
         return method, target.split("?", 1)[0], body
+
+    async def _read_headers(self, reader) -> int:
+        """Read the header section; returns the Content-Length.  The
+        caller bounds the whole section with one header deadline."""
+        cfg = self.guard.config
+        content_length = 0
+        count = 0
+        while True:
+            try:
+                header = await reader.readline()
+            except ValueError:
+                raise RequestError(
+                    431, "header-too-large",
+                    "a header line exceeds the server's line limit",
+                ) from None
+            if header in (b"\r\n", b"\n", b""):
+                return content_length
+            count += 1
+            if count > cfg.max_header_count:
+                raise RequestError(
+                    431, "too-many-headers",
+                    f"request exceeds {cfg.max_header_count} header lines",
+                )
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = -1
+
+    async def _send_limit_error(
+        self, writer, status: int, code: str, message: str
+    ) -> None:
+        self.metrics.counter("serve_client_errors").increment()
+        await self._send(writer, status, {
+            "error": {"status": status, "code": code, "message": message}
+        }, keep_alive=False)
 
     async def _dispatch(self, writer, method: str, path: str, body: bytes) -> bool:
         self._request_seq += 1
@@ -293,38 +501,79 @@ class ModelServer:
         # Latency lands in the bounded windowed reservoir, never the
         # batch Histogram: a server must hold O(1) telemetry.
         reservoir = self.live.reservoir("serve_request_ms")
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
         started = loop.time()
         with self.tracer.span(
             "http-request", key=f"req:{seq}", parent=None, method=method, path=path
         ) as span:
+            admitted = self.guard.admit_request(self._inflight)
+            # Every offered request feeds the shed-rate SLO: good
+            # means "not load-shed".
+            self.slo.record(ok=admitted, stream="sheds")
+            retry_after = not admitted
+            if admitted:
+                self._inflight += 1
+                self._drained.clear()
             try:
-                status, doc = self._route(method, path, body, span)
-            except RequestError as exc:
-                status, doc = exc.status, exc.doc
-                self.metrics.counter("serve_client_errors").increment()
-            except ReproError as exc:
-                # Any remaining domain error is still the client's
-                # request being unanswerable, not a server fault.
-                status = 400
-                doc = {"error": {"status": 400, "code": "bad-request",
-                                 "message": str(exc)}}
-                self.metrics.counter("serve_client_errors").increment()
-            span.set_attribute("status", status)
-            self._requests_served += 1
-            self.metrics.counter("serve_requests").increment()
-            elapsed_ms = (loop.time() - started) * 1000.0
-            reservoir.observe(elapsed_ms)
-            self.live.rate("serve_requests").increment()
-            self.slo.record(ok=status < 500, latency_ms=elapsed_ms)
-            span.set_attribute("elapsed_ms", elapsed_ms)
-            keep_alive = not self._closing
-            await self._send(writer, status, doc, keep_alive=keep_alive)
-            return keep_alive
+                if not admitted:
+                    status, doc = 429, self.guard.shed_doc(
+                        429, "shed-inflight",
+                        "in-flight request limit reached, back off and retry",
+                    )
+                    span.set_attribute("shed", True)
+                else:
+                    try:
+                        status, doc = await self.guard.timed(
+                            self._route(method, path, body, span),
+                            self.guard.config.handler_timeout_s,
+                            "handler",
+                        )
+                    except GuardTimeout as exc:
+                        # The handler blew its deadline: a server
+                        # fault, shed so the client backs off.
+                        status, doc = 503, self.guard.shed_doc(
+                            503, "handler-timeout", str(exc)
+                        )
+                        retry_after = True
+                    except RequestError as exc:
+                        status, doc = exc.status, exc.doc
+                        self.metrics.counter("serve_client_errors").increment()
+                    except ReproError as exc:
+                        # Any remaining domain error is still the
+                        # client's request being unanswerable, not a
+                        # server fault.
+                        status = 400
+                        doc = {"error": {"status": 400, "code": "bad-request",
+                                         "message": str(exc)}}
+                        self.metrics.counter("serve_client_errors").increment()
+                span.set_attribute("status", status)
+                self._requests_served += 1
+                self.metrics.counter("serve_requests").increment()
+                elapsed_ms = (loop.time() - started) * 1000.0
+                reservoir.observe(elapsed_ms)
+                self.live.rate("serve_requests").increment()
+                self.slo.record(ok=status < 500, latency_ms=elapsed_ms)
+                span.set_attribute("elapsed_ms", elapsed_ms)
+                keep_alive = not self._closing
+                await self._send(
+                    writer, status, doc,
+                    keep_alive=keep_alive, retry_after=retry_after,
+                )
+                return keep_alive
+            finally:
+                # In-flight covers the response flush too: graceful
+                # drain must wait for written answers, and a stalled
+                # write holds an admission slot until its deadline.
+                if admitted:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._drained.set()
 
-    def _route(
+    async def _route(
         self, method: str, path: str, body: bytes, span
     ) -> Tuple[int, Union[Dict, str]]:
+        if self.chaos_hook is not None:
+            await self.chaos_hook(method, path)
         if path == "/predict":
             if method != "POST":
                 raise RequestError(405, "method-not-allowed", "use POST /predict")
@@ -358,11 +607,14 @@ class ModelServer:
         if path == "/modelz":
             if method != "GET":
                 raise RequestError(405, "method-not-allowed", "use GET /modelz")
-            return 200, self.engine.snapshot.describe()
+            doc = self.engine.snapshot.describe()
+            if self.watcher is not None:
+                doc["watch"] = self.watcher.describe()
+            return 200, doc
         if path == "/reloadz":
             if method != "POST":
                 raise RequestError(405, "method-not-allowed", "use POST /reloadz")
-            return self._handle_reload()
+            return await self._handle_reload()
         raise RequestError(404, "not-found", f"no route for {path}")
 
     def _handle_healthz(self) -> Tuple[int, Dict]:
@@ -442,9 +694,9 @@ class ModelServer:
         answer["model_version"] = engine.version
         return 200, answer
 
-    def _handle_reload(self) -> Tuple[int, Dict]:
+    async def _handle_reload(self) -> Tuple[int, Dict]:
         try:
-            old, new = self.reload()
+            old, new = await self.reload_async()
         except (SnapshotError, OSError) as exc:
             raise RequestError(
                 503, "reload-failed",
@@ -466,7 +718,12 @@ class ModelServer:
         return doc
 
     async def _send(
-        self, writer, status: int, doc: Union[Dict, str], keep_alive: bool
+        self,
+        writer,
+        status: int,
+        doc: Union[Dict, str],
+        keep_alive: bool,
+        retry_after: bool = False,
     ) -> None:
         if isinstance(doc, str):
             # Pre-rendered text bodies (the Prometheus exposition).
@@ -475,15 +732,34 @@ class ModelServer:
         else:
             payload = json.dumps(doc).encode("utf-8")
             content_type = "application/json"
+        retry = ""
+        if retry_after:
+            retry = (
+                f"Retry-After: "
+                f"{max(1, math.ceil(self.guard.config.retry_after_s))}\r\n"
+            )
         head = (
             f"HTTP/1.1 {status} {_STATUS_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{retry}"
             "\r\n"
         )
         writer.write(head.encode("latin-1") + payload)
-        await writer.drain()
+        timeout = self.guard.config.write_timeout_s
+        if timeout is None or writer.transport.get_write_buffer_size() == 0:
+            # Fast path: the response already hit the socket, drain
+            # cannot wait and needs no deadline.
+            await writer.drain()
+            return
+        try:
+            await self.guard.timed(writer.drain(), timeout, "write")
+        except GuardTimeout:
+            # A never-reading peer: abort so buffered bytes cannot pin
+            # the connection or block graceful drain.
+            writer.transport.abort()
+            raise
 
 
 async def run_server(
@@ -495,6 +771,8 @@ async def run_server(
     ready=None,
     latency_threshold_ms: float = DEFAULT_LATENCY_THRESHOLD_MS,
     max_snapshot_age_s: float = DEFAULT_MAX_SNAPSHOT_AGE_S,
+    guard: Optional[GuardConfig] = None,
+    watch: Optional[WatchConfig] = None,
 ) -> ModelServer:
     """Boot a :class:`ModelServer` and serve until cancelled.
 
@@ -508,6 +786,8 @@ async def run_server(
             latency_threshold_ms=latency_threshold_ms,
             max_snapshot_age_s=max_snapshot_age_s,
         ),
+        guard=guard,
+        watch=watch,
     )
     await server.start()
     if ready is not None:

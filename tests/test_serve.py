@@ -469,7 +469,9 @@ class TestLiveEndpoints:
         status, doc = asyncio.run(_with_server(snapshot_path, scenario))
         assert status == 200
         by_name = {slo["name"]: slo for slo in doc["slos"]}
-        assert set(by_name) == {"availability", "p99-latency", "snapshot-freshness"}
+        assert set(by_name) == {
+            "availability", "p99-latency", "snapshot-freshness", "shed-rate",
+        }
         assert doc["overall_state"] in ("ok", "warn", "page")
         avail = by_name["availability"]
         assert avail["state"] == "ok"
